@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper figure (or an ablation) and emits the
+series/rows the paper plots.  Because pytest captures stdout, reports are
+*also* written to ``benchmarks/results/<name>.txt`` so the evidence behind
+EXPERIMENTS.md survives the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it under ``benchmarks/results/``."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,87 @@
+"""Ablation F — space-filling-curve choice for the B²-tree keys.
+
+Sec. II-A adopts B²-trees precisely because curve linearization keeps
+spatiotemporally related results adjacent in B+-tree leaves — which is
+what makes sweep-migrate move *coherent* regions and spatially clustered
+query bursts hit contiguous key ranges.  This ablation quantifies the
+property for Hilbert vs Morton (Z-order) vs plain row-major keys with the
+two standard locality measures:
+
+* **block compactness** — the longest bounding-box side spanned by runs
+  of consecutive keys (what one migrated bucket interval covers
+  spatially; elongated = smeared across the domain);
+* **range-query clustering** (Moon et al.) — how many contiguous key
+  runs a small spatial box decomposes into (each run is one B+-tree leaf
+  sweep; fewer is better).
+"""
+
+import numpy as np
+
+from benchmarks._util import emit
+from repro.experiments.report import ascii_table
+from repro.sfc.btwo import Linearizer
+
+NBITS = 5
+SIDE = 1 << NBITS
+
+
+def _all_coords():
+    axes = [np.arange(SIDE)] * 3
+    return np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1).reshape(-1, 3)
+
+
+def block_elongation(lin: Linearizer, block: int = 256) -> float:
+    """Mean longest bbox side of consecutive-key blocks (lower=compact)."""
+    keys = np.sort(lin.encode_many(_all_coords()))
+    coords = lin.decode_many(keys).astype(np.int64)
+    sides = []
+    for start in range(0, SIDE ** 3 - block, block):
+        chunk = coords[start:start + block]
+        extent = chunk.max(axis=0) - chunk.min(axis=0) + 1
+        sides.append(float(extent.max()))
+    return float(np.mean(sides))
+
+
+def range_query_runs(lin: Linearizer, box: int = 4, samples: int = 200,
+                     seed: int = 0) -> float:
+    """Mean number of contiguous key runs covering a ``box³`` query."""
+    rng = np.random.default_rng(seed)
+    offsets = np.stack(np.meshgrid(*[np.arange(box)] * 3, indexing="ij"),
+                       axis=-1).reshape(-1, 3)
+    runs = []
+    for _ in range(samples):
+        origin = rng.integers(0, SIDE - box, size=3)
+        cells = origin + offsets
+        keys = np.sort(lin.encode_many(cells).astype(np.int64))
+        breaks = int((np.diff(keys) > 1).sum())
+        runs.append(breaks + 1)
+    return float(np.mean(runs))
+
+
+def test_curve_locality(benchmark):
+    def run():
+        rows = []
+        for curve in ("hilbert", "morton", "rowmajor"):
+            lin = Linearizer(nbits=NBITS, curve=curve)
+            rows.append([curve, block_elongation(lin), range_query_runs(lin)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_curves", ascii_table(
+        ["curve", "block longest side (256 keys)", "runs per 4³ range query"],
+        rows, title="Ablation F: B²-tree linearization curves "
+                    f"({SIDE}³ spatiotemporal grid)"))
+
+    by = {r[0]: r for r in rows}
+    benchmark.extra_info.update({f"{c}_runs": by[c][2] for c in by})
+
+    # SFC blocks stay compact (cube-ish); row-major blocks smear across a
+    # full axis of the domain — so a migrated bucket interval under
+    # row-major keys is spatially incoherent.
+    assert by["hilbert"][1] < 0.5 * by["rowmajor"][1]
+    assert by["morton"][1] < 0.5 * by["rowmajor"][1]
+    # Hilbert beats Z-order on range clustering (the clustering theorem);
+    # row-major is competitive on *small axis-aligned* boxes (r² columns)
+    # — its failure mode is the elongation above, not this metric.
+    assert by["hilbert"][2] < by["morton"][2]
+    assert by["hilbert"][2] <= by["rowmajor"][2] * 1.1

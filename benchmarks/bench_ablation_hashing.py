@@ -1,0 +1,70 @@
+"""Ablation A — consistent hashing vs mod-N static hashing.
+
+Quantifies Sec. II-A's motivation (Fig. 1): growing a mod-N cache
+rehashes nearly everything ("hash disruption"), while consistent hashing
+relocates only the new bucket's interval.
+"""
+
+import numpy as np
+
+from benchmarks._util import emit
+from repro.core.config import CacheConfig
+from repro.core.ring import ConsistentHashRing
+from repro.core.static_cache import StaticCooperativeCache
+from repro.experiments.report import ascii_table
+
+
+def _mod_n_moved(keys: np.ndarray, n_from: int, n_to: int) -> float:
+    """Fraction of keys whose mod-N placement changes."""
+    return float(np.mean((keys % n_from) != (keys % n_to)))
+
+
+def _consistent_moved(keys: list[int], growth_steps: int, ring_range: int) -> list[float]:
+    """Fraction moved at each single-node growth of a consistent ring."""
+    ring = ConsistentHashRing(ring_range=ring_range)
+    ring.add_bucket(ring_range - 1, "n0")
+    fractions = []
+    rng = np.random.default_rng(7)
+    for i in range(1, growth_steps + 1):
+        before = [ring.node_for_key(k) for k in keys]
+        # new bucket at a fresh position (midpoint heuristic like GBA's splits)
+        pos = int(rng.integers(0, ring_range - 1))
+        while pos in ring.node_map:
+            pos = int(rng.integers(0, ring_range - 1))
+        ring.add_bucket(pos, f"n{i}")
+        after = [ring.node_for_key(k) for k in keys]
+        fractions.append(
+            sum(b is not a for b, a in zip(before, after)) / len(keys)
+        )
+    return fractions
+
+
+def test_hash_disruption(benchmark):
+    ring_range = 1 << 14
+    keys = np.arange(0, ring_range, 3)
+
+    def run():
+        rows = []
+        consistent = _consistent_moved(keys.tolist(), growth_steps=15,
+                                       ring_range=ring_range)
+        for n in range(1, 16):
+            rows.append([
+                f"{n}->{n + 1}",
+                _mod_n_moved(keys, n, n + 1),
+                consistent[n - 1],
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ablation_hashing", ascii_table(
+        ["growth", "mod-N moved frac", "consistent moved frac"], rows,
+        title="Ablation A: hash disruption on single-node growth"))
+
+    mod_mean = float(np.mean([r[1] for r in rows]))
+    cons_mean = float(np.mean([r[2] for r in rows]))
+    benchmark.extra_info.update({"mod_mean": mod_mean, "consistent_mean": cons_mean})
+
+    # mod-N moves the large majority; consistent hashing a small fraction.
+    assert mod_mean > 0.5
+    assert cons_mean < 0.25
+    assert cons_mean < mod_mean / 3

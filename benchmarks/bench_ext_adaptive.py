@@ -1,0 +1,61 @@
+"""Extension D — adaptive window sizing vs fixed m.
+
+The paper's stated future work (Secs. IV-D, VI): a dynamic m should match
+a large fixed window's speedup during the burst while shedding its cost
+after.  We run fixed m ∈ {50, 400} and the adaptive controller over the
+same phased trace and compare peak speedup vs node-hours.
+"""
+
+from benchmarks._util import emit
+from repro.experiments.configs import fig5_params
+from repro.experiments.harness import build_elastic, make_trace
+from repro.experiments.report import ascii_table
+from repro.extensions.adaptive_window import AdaptiveWindowController
+
+
+def _run(window: int, adaptive: bool):
+    params = fig5_params(window_slices=window, scale="full")
+    trace = make_trace(params)
+    bundle = build_elastic(params)
+    controller = None
+    if adaptive:
+        controller = AdaptiveWindowController(
+            bundle.cache.evictor, query_budget=20_000, m_min=25, m_max=400)
+    coordinator, cloud = bundle.coordinator, bundle.cloud
+    for step, keys in trace.steps():
+        for key in keys.tolist():
+            coordinator.query(int(key))
+        if controller is not None:
+            controller.observe_step(len(keys))
+        coordinator.end_step(cost_usd=cloud.cost_so_far())
+    metrics = coordinator.metrics
+    nodes = metrics.series("node_count")
+    return {
+        "name": f"adaptive(start m={window})" if adaptive else f"fixed m={window}",
+        "peak_speedup": float(metrics.windowed_speedup(23.0, 20).max()),
+        "mean_nodes": float(nodes.mean()),
+        "final_nodes": int(nodes[-1]),
+        "node_steps": float(nodes.sum()),  # cost proxy: node-steps held
+    }
+
+
+def test_adaptive_window_vs_fixed(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_run(50, False), _run(400, False), _run(400, True)],
+        rounds=1, iterations=1,
+    )
+    emit("ext_adaptive", ascii_table(
+        ["variant", "peak speedup", "mean nodes", "final nodes", "node-steps"],
+        [[r["name"], r["peak_speedup"], r["mean_nodes"], r["final_nodes"],
+          r["node_steps"]] for r in results],
+        title="Extension D: adaptive window vs fixed m (phased workload)"))
+
+    fixed50, fixed400, adaptive = results
+    benchmark.extra_info.update({r["name"]: r["peak_speedup"] for r in results})
+
+    # The adaptive controller must land between the fixed extremes:
+    # much faster than m=50, cheaper than m=400.
+    assert adaptive["peak_speedup"] > 1.5 * fixed50["peak_speedup"]
+    assert adaptive["node_steps"] < fixed400["node_steps"]
+    # And it sheds nodes after the burst, unlike fixed m=400.
+    assert adaptive["final_nodes"] <= fixed400["final_nodes"]

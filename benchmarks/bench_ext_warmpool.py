@@ -1,0 +1,61 @@
+"""Extension E — warm-pool preloading vs synchronous allocation.
+
+Sec. VI: "asynchronous preloading of EC2 instances ... can also be used to
+further minimize this overhead".  Re-runs the Fig. 3/4 workload with a
+warm pool as the cache's node source and compares per-split allocation
+waits and total overhead against the baseline (Fig. 4).
+"""
+
+import numpy as np
+
+from benchmarks._util import emit
+from repro.experiments.configs import fig3_params
+from repro.experiments.harness import build_elastic, make_trace, run_trace
+from repro.experiments.report import ascii_table
+from repro.extensions.warmpool import WarmPool
+
+
+def _run(spares: int):
+    params = fig3_params("mini")
+    trace = make_trace(params)
+    bundle = build_elastic(params)
+    if spares:
+        pool = WarmPool(bundle.cloud, spares=spares)
+        # Rewire provisioning through the pool for subsequent allocations.
+        bundle.cache._node_source = pool.acquire
+        bundle.clock.reset()  # pool prefill happens before the experiment
+    run_trace(bundle, trace)
+    events = bundle.cache.gba.split_events
+    waits = [e.allocation_s for e in events]
+    return {
+        "spares": spares,
+        "splits": len(events),
+        "mean_alloc_wait_s": float(np.mean(waits)) if waits else 0.0,
+        "max_alloc_wait_s": float(np.max(waits)) if waits else 0.0,
+        "total_overhead_s": float(sum(e.overhead_s for e in events)),
+        "cost_usd": bundle.cloud.cost_so_far(),
+    }
+
+
+def test_warmpool_hides_allocation_latency(benchmark):
+    results = benchmark.pedantic(lambda: [_run(0), _run(1), _run(2)],
+                                 rounds=1, iterations=1)
+    emit("ext_warmpool", ascii_table(
+        ["spares", "splits", "mean alloc wait (s)", "max alloc wait (s)",
+         "total overhead (s)", "cost ($)"],
+        [[r["spares"], r["splits"], r["mean_alloc_wait_s"],
+          r["max_alloc_wait_s"], r["total_overhead_s"], r["cost_usd"]]
+         for r in results],
+        title="Extension E: warm-pool preloading vs cold allocation"))
+
+    cold, warm1, warm2 = results
+    benchmark.extra_info.update({
+        "cold_overhead_s": cold["total_overhead_s"],
+        "warm1_overhead_s": warm1["total_overhead_s"],
+    })
+
+    # The pool slashes allocation waits and hence total split overhead.
+    assert cold["mean_alloc_wait_s"] > 10.0
+    assert warm1["mean_alloc_wait_s"] < 0.5 * cold["mean_alloc_wait_s"]
+    assert warm1["total_overhead_s"] < 0.6 * cold["total_overhead_s"]
+    assert warm2["mean_alloc_wait_s"] <= warm1["mean_alloc_wait_s"] + 1.0

@@ -1,0 +1,53 @@
+"""Fig. 3 — relative speedup + node allocation, GBA vs static-2/4/8.
+
+Paper targets: statics converge at 1.15× / 1.34× / 2.0×; GBA exceeds 15×
+and stabilizes its fleet (the paper ends at 15 nodes over 64 K keys; our
+half-split packing lands at ~20 over the scaled 4 K keyspace — same shape,
+see EXPERIMENTS.md).
+"""
+
+from benchmarks._util import emit
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.report import ascii_table
+
+
+def test_fig3_speedup_and_allocation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig3(scale="scaled"), rounds=1, iterations=1
+    )
+
+    lines = [result.report(), ""]
+    rows = []
+    series = result.speedup_series
+    points = max(len(v) for v in series.values())
+    for i in range(points):
+        row = [series["gba"][i][0] if i < len(series["gba"]) else ""]
+        for name in ("gba", "static-2", "static-4", "static-8"):
+            vals = series[name]
+            row.append(vals[i][1] if i < len(vals) else "")
+        rows.append(row)
+    lines.append(ascii_table(
+        ["queries", "gba", "static-2", "static-4", "static-8"],
+        rows, title="Per-interval speedup (paper Fig. 3, log10 y-axis)"))
+
+    nodes = result.gba_nodes
+    stride = max(1, len(nodes) // 12)
+    lines.append("")
+    lines.append(ascii_table(
+        ["step", "gba nodes"],
+        [[i, int(nodes[i])] for i in range(0, len(nodes), stride)],
+        title="GBA node allocation (right y-axis of Fig. 3)"))
+    emit("fig3", "\n".join(lines))
+
+    benchmark.extra_info.update({
+        "gba_final_speedup": result.final_speedup["gba"],
+        "static2": result.final_speedup["static-2"],
+        "static4": result.final_speedup["static-4"],
+        "static8": result.final_speedup["static-8"],
+        "gba_final_nodes": int(nodes[-1]),
+    })
+
+    # Shape assertions: who wins, by roughly what factor.
+    assert result.final_speedup["gba"] > 10
+    assert 1.0 < result.final_speedup["static-2"] < 1.4
+    assert result.final_speedup["static-4"] < result.final_speedup["static-8"] < 3.0

@@ -1,0 +1,34 @@
+"""Fig. 4 — node-splitting overhead (allocation + migration per split).
+
+Paper targets: overhead is large but amortized ("seldom invoked"), and
+"it is the node allocation time, and not the data movement time, which is
+the main contributor".
+"""
+
+import numpy as np
+
+from benchmarks._util import emit
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4_split_overhead(benchmark):
+    result = benchmark.pedantic(lambda: run_fig4(scale="scaled"),
+                                rounds=1, iterations=1)
+    emit("fig4", result.report())
+
+    benchmark.extra_info.update({
+        "splits": len(result.events),
+        "allocating_splits": result.splits_with_allocation,
+        "allocation_fraction": result.allocation_fraction,
+        "total_overhead_s": result.total_overhead_s,
+    })
+
+    # Shape assertions.
+    assert result.events, "GBA must split under the Fig. 3 workload"
+    assert result.allocation_fraction > 0.9  # allocation dominates
+    # Splits are rare relative to query volume (amortization claim).
+    total_queries = result.params.schedule.total_queries
+    assert len(result.events) < total_queries / 1000
+    # Splits concentrate early (stabilization claim).
+    steps = np.array([e.step for e in result.events])
+    assert np.median(steps) < result.params.schedule.total_steps / 2

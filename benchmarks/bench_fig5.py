@@ -1,0 +1,49 @@
+"""Fig. 5(a-d) — speedup under eviction/contraction, m ∈ {50,100,200,400}.
+
+Runs at the paper's full scale (32 K keys, 70 K queries, 600 steps).
+Paper targets: peak speedup ≈1.55× at m=50 with ~2 nodes average, rising
+monotonically to ≈8× at m=400 with ~6 nodes; node counts contract after
+the intensive period ends at step 300 (except m=400, whose window still
+covers it).
+"""
+
+import numpy as np
+
+from benchmarks._util import emit
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.report import ascii_table
+
+
+def test_fig5_window_size_panels(benchmark):
+    result = benchmark.pedantic(lambda: run_fig5(scale="full"),
+                                rounds=1, iterations=1)
+
+    lines = [result.report(), ""]
+    # Per-step series, downsampled, one block per panel (the 4 subplots).
+    for m, panel in result.panels.items():
+        stride = max(1, len(panel.speedup) // 20)
+        rows = [[i, float(panel.speedup[i]), int(panel.nodes[i])]
+                for i in range(0, len(panel.speedup), stride)]
+        lines.append(ascii_table(
+            ["step", "speedup", "nodes"], rows,
+            title=f"Fig. 5 panel m={m} (speedup left axis, nodes right axis)"))
+        lines.append("")
+    emit("fig5", "\n".join(lines))
+
+    peaks = {m: p.peak_speedup for m, p in result.panels.items()}
+    benchmark.extra_info.update(
+        {f"peak_m{m}": v for m, v in peaks.items()}
+        | {f"mean_nodes_m{m}": p.mean_nodes for m, p in result.panels.items()}
+    )
+
+    # Shape assertions: monotone in m; paper-ballpark endpoints.
+    assert peaks[50] < peaks[100] < peaks[200] < peaks[400]
+    assert 1.2 < peaks[50] < 2.2          # paper: ~1.55x
+    assert 4.0 < peaks[400] < 10.0        # paper: ~8x
+    assert 1.5 <= result.panels[50].mean_nodes <= 3.0   # paper: ⌈1.7⌉ = 2
+    assert 4.5 <= result.panels[400].mean_nodes <= 8.0  # paper: ⌈5.6⌉ = 6
+    assert result.panels[400].max_nodes <= 9            # paper: max 8
+    # Contraction after the intensive phase for the smaller windows.
+    for m in (50, 100, 200):
+        p = result.panels[m]
+        assert p.final_nodes < p.max_nodes

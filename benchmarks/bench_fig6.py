@@ -1,0 +1,46 @@
+"""Fig. 6(a-d) — data reuse and eviction behaviour over time.
+
+Full paper scale.  Targets: reuse rises during the intensive period in
+every panel; eviction turns aggressive in the cooldown for m ≤ 200; the
+m=400 window (still covering the intensive period) keeps allocating after
+step 300 while the others contract.
+"""
+
+from benchmarks._util import emit
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.report import ascii_table
+
+
+def test_fig6_reuse_and_eviction(benchmark):
+    result = benchmark.pedantic(lambda: run_fig6(scale="full"),
+                                rounds=1, iterations=1)
+
+    lines = [result.report(), ""]
+    for m, panel in result.panels.items():
+        stride = max(1, len(panel.hits) // 20)
+        rows = [[i, int(panel.hits[i]), int(panel.evictions[i]), int(panel.nodes[i])]
+                for i in range(0, len(panel.hits), stride)]
+        lines.append(ascii_table(
+            ["step", "hits", "evictions", "nodes"], rows,
+            title=f"Fig. 6 panel m={m}"))
+        lines.append("")
+    emit("fig6", "\n".join(lines))
+
+    for m, panel in result.panels.items():
+        hits = panel.phase_means(panel.hits)
+        benchmark.extra_info[f"hits_intensive_m{m}"] = hits["intensive"]
+        # Reuse rises in the intensive period, in every panel.
+        assert hits["intensive"] > hits["normal"]
+
+    # Eviction follows waning interest for the windows that fit within
+    # the intensive period.
+    for m in (50, 100, 200):
+        ev = result.panels[m].phase_means(result.panels[m].evictions)
+        assert ev["cooldown"] > 0
+
+    # m=400 keeps its fleet after step 300 (window still spans the burst);
+    # smaller windows shed nodes.
+    p400 = result.panels[400]
+    p100 = result.panels[100]
+    assert p400.nodes[-1] >= p400.nodes[300] - 1
+    assert p100.nodes[-1] < p100.nodes[300]

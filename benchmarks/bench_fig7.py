@@ -1,0 +1,44 @@
+"""Fig. 7 — data-reuse behaviour across decay values α ∈ {.99,.98,.95,.93}.
+
+Full paper scale, m = 100, threshold pinned to the α=0.99 baseline.
+Targets: smaller α evicts more aggressively and grows the fleet more
+slowly, while total hits "do not vary enough to make any extraordinary
+contribution to speedup".
+"""
+
+from benchmarks._util import emit
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.report import ascii_table
+
+
+def test_fig7_decay_sweep(benchmark):
+    result = benchmark.pedantic(lambda: run_fig7(scale="full"),
+                                rounds=1, iterations=1)
+
+    lines = [result.report(), ""]
+    # Cumulative reuse over time per α (the figure's curves).
+    import numpy as np
+    alphas = sorted(result.curves)
+    any_curve = result.curves[alphas[0]]
+    stride = max(1, len(any_curve.hits) // 20)
+    cum = {a: np.cumsum(result.curves[a].hits) for a in alphas}
+    rows = [[i] + [int(cum[a][i]) for a in alphas]
+            for i in range(0, len(any_curve.hits), stride)]
+    lines.append(ascii_table(
+        ["step"] + [f"α={a}" for a in alphas], rows,
+        title="Cumulative data reuse (hits) over time"))
+    emit("fig7", "\n".join(lines))
+
+    curves = result.curves
+    benchmark.extra_info.update(
+        {f"hits_a{a}": c.total_hits for a, c in curves.items()}
+        | {f"evictions_a{a}": c.total_evictions for a, c in curves.items()}
+    )
+
+    # Shape assertions: monotone trends across α.
+    assert curves[0.93].total_evictions >= curves[0.95].total_evictions \
+        >= curves[0.98].total_evictions >= curves[0.99].total_evictions
+    assert curves[0.93].total_hits <= curves[0.99].total_hits
+    assert curves[0.93].max_nodes <= curves[0.99].max_nodes
+    # ... but hits don't collapse (the paper's closing observation).
+    assert curves[0.93].total_hits > 0.6 * curves[0.99].total_hits

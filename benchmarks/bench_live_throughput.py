@@ -1,0 +1,63 @@
+"""Live-layer performance: real wall-clock ops/sec through the protocol.
+
+Unlike the figure benches (virtual time), this measures the actual TCP
+implementation — put/get round-trips and sweep streaming through the
+length-prefixed protocol on localhost.  Useful as a regression guard on
+the wire path (an accidental O(n) in framing or a lost buffer would show
+up here, not in the simulations).
+"""
+
+import numpy as np
+
+from benchmarks._util import emit
+from repro.live.client import LiveCacheClient
+from repro.live.server import LiveCacheServer
+
+N_OPS = 300
+PAYLOAD = bytes(range(256)) * 4  # 1 KiB, the paper's result size
+
+
+def test_live_put_get_roundtrip(benchmark):
+    server = LiveCacheServer(capacity_bytes=1 << 26).start()
+    try:
+        client = LiveCacheClient(server.address)
+        keys = np.random.default_rng(0).permutation(N_OPS).tolist()
+
+        def cycle():
+            for k in keys:
+                client.put(k, PAYLOAD)
+            hits = 0
+            for k in keys:
+                hits += client.get(k) is not None
+            return hits
+
+        hits = benchmark(cycle)
+        assert hits == N_OPS
+
+        stats = client.stats()
+        per_op_us = benchmark.stats.stats.mean / (2 * N_OPS) * 1e6
+        emit("live_throughput",
+             f"live TCP cache: {2 * N_OPS} ops/cycle, "
+             f"{per_op_us:.1f} us/op mean, "
+             f"{stats['records']} records resident")
+        benchmark.extra_info["us_per_op"] = per_op_us
+        client.close()
+    finally:
+        server.stop()
+
+
+def test_live_sweep_streaming(benchmark):
+    server = LiveCacheServer(capacity_bytes=1 << 26).start()
+    try:
+        client = LiveCacheClient(server.address)
+        for k in range(1000):
+            client.put(k, PAYLOAD)
+
+        def sweep():
+            return len(client.sweep(100, 899))
+
+        count = benchmark(sweep)
+        assert count == 800
+        client.close()
+    finally:
+        server.stop()

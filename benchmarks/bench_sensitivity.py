@@ -1,0 +1,65 @@
+"""Calibration-sensitivity bench — how sturdy is the reproduction?
+
+Asserts the independence/monotonicity structure that separates measured
+results from calibrated constants (see `repro/analysis/sensitivity.py`
+and EXPERIMENTS.md's calibration section).
+"""
+
+from benchmarks._util import emit
+from repro.analysis.sensitivity import (
+    by_system,
+    sweep_boot_latency,
+    sweep_capacity,
+    sweep_hit_overhead,
+)
+from repro.experiments.report import ascii_table
+
+
+def test_calibration_sensitivity(benchmark):
+    def run():
+        return (sweep_hit_overhead(), sweep_boot_latency(), sweep_capacity())
+
+    hit_sweep, boot_sweep, cap_sweep = benchmark.pedantic(run, rounds=1,
+                                                          iterations=1)
+
+    def table(points, title):
+        return ascii_table(
+            ["param", "value", "system", "speedup", "hit rate",
+             "mean nodes", "max nodes"],
+            [[p.parameter, p.value, p.system, p.speedup, p.hit_rate,
+              p.mean_nodes, p.max_nodes] for p in points],
+            title=title)
+
+    emit("sensitivity", "\n\n".join([
+        table(hit_sweep, "Hit-path cost sweep"),
+        table(boot_sweep, "Boot-latency sweep"),
+        table(cap_sweep, "Per-node capacity sweep"),
+    ]))
+
+    # 1. Speedups fall monotonically with hit cost — but GBA's win over
+    #    static-4 survives every value (ordering is measurement, the
+    #    magnitude is calibration).
+    gba = by_system(hit_sweep, "gba")
+    st4 = by_system(hit_sweep, "static-4")
+    assert all(a.speedup > b.speedup for a, b in zip(gba, gba[1:]))
+    for g, s in zip(gba, st4):
+        assert g.speedup > 2 * s.speedup
+
+    # 2. Hit rates and fleet sizes are invariant to hit cost.
+    assert len({round(p.hit_rate, 6) for p in gba}) == 1
+    assert len({p.max_nodes for p in gba}) == 1
+
+    # 3. Boot latency moves neither hit rate nor fleet size (it only
+    #    shifts Fig. 4's overhead axis).
+    boots = by_system(boot_sweep, "gba")
+    assert len({round(p.hit_rate, 6) for p in boots}) == 1
+    assert len({p.max_nodes for p in boots}) == 1
+
+    # 4. Static hit rate scales with capacity; GBA's final hit rate does
+    #    not (it grows nodes to fit regardless) — but its fleet shrinks
+    #    as nodes get bigger.
+    cap_static = by_system(cap_sweep, "static-4")
+    assert all(a.hit_rate < b.hit_rate for a, b in zip(cap_static, cap_static[1:]))
+    cap_gba = by_system(cap_sweep, "gba")
+    assert len({round(p.hit_rate, 6) for p in cap_gba}) == 1
+    assert all(a.max_nodes >= b.max_nodes for a, b in zip(cap_gba, cap_gba[1:]))

@@ -1,0 +1,68 @@
+"""Storage-tier bench — the Sec. IV-D cost/performance assessment.
+
+The paper assessed S3/EBS/instance-memory tradeoffs and deferred details
+to a companion paper; this bench produces the comparison concretely: for
+the Fig. 3-sized deployment, monthly cost and effective speedup per tier,
+plus the footprint sweep showing where the tiers cross over.
+"""
+
+from benchmarks._util import emit
+from repro.cloud.storage import compare_tiers
+from repro.experiments.report import ascii_table
+
+GB = 1_000_000_000
+
+
+def test_storage_tier_tradeoffs(benchmark):
+    def run():
+        # The Fig. 3 deployment: ~64 K cached results, ~300 KB effective
+        # footprint each (what 15 full Small instances imply), queried at
+        # the experiment's observed rate.
+        deployment = compare_tiers(
+            footprint_bytes=20 * GB,
+            reads_per_month=50_000_000,
+            mean_object_bytes=1024,
+            service_time_s=23.0,
+            hit_rate=0.93,
+        )
+        sweep = {
+            gb: compare_tiers(footprint_bytes=gb * GB,
+                              reads_per_month=5_000_000,
+                              mean_object_bytes=1024)
+            for gb in (1, 5, 20, 100)
+        }
+        return deployment, sweep
+
+    deployment, sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [ascii_table(
+        ["tier", "nodes", "$/month", "hit time (s)", "speedup", "persistent"],
+        [[r["tier"], r["nodes"], r["monthly_usd"], r["hit_time_s"],
+          r["speedup"], r["persistent"]] for r in deployment],
+        title="Sec. IV-D: storage tiers for the Fig. 3 deployment "
+              "(20 GB cached, 50 M reads/month, 93% hit rate)"), ""]
+
+    rows = []
+    for gb, tiers in sweep.items():
+        by = {r["tier"]: r for r in tiers}
+        rows.append([gb, by["ram"]["monthly_usd"], by["ebs"]["monthly_usd"],
+                     by["s3"]["monthly_usd"]])
+    lines.append(ascii_table(
+        ["footprint (GB)", "ram $/mo", "ebs $/mo", "s3 $/mo"], rows,
+        title="Monthly cost vs footprint (5 M reads/month)"))
+    emit("storage_tiers", "\n".join(lines))
+
+    by_tier = {r["tier"]: r for r in deployment}
+    benchmark.extra_info.update(
+        {f"{t}_usd": r["monthly_usd"] for t, r in by_tier.items()})
+
+    # The paper's qualitative conclusions:
+    # performance ordering ram > ebs > s3 ...
+    assert by_tier["ram"]["speedup"] > by_tier["ebs"]["speedup"] \
+        > by_tier["s3"]["speedup"]
+    # ... persistence costs capacity dollars but saves compute dollars at
+    # this footprint (one node vs a RAM fleet).
+    assert by_tier["ram"]["nodes"] > 1
+    assert by_tier["ebs"]["monthly_usd"] < by_tier["ram"]["monthly_usd"]
+    # In-memory keeps the paper's headline speedup regime (>10x).
+    assert by_tier["ram"]["speedup"] > 10

@@ -1,0 +1,19 @@
+"""The scorecard bench — every paper claim validated in one run.
+
+This is the repository's headline check: ``validate_all`` runs Figs. 3-7
+and scores each claim from the paper's evaluation against our measured
+values (the acceptance bands are written down in
+``repro/experiments/validate.py`` and argued in EXPERIMENTS.md).
+"""
+
+from benchmarks._util import emit
+from repro.experiments.validate import validate_all
+
+
+def test_paper_scorecard(benchmark):
+    card = benchmark.pedantic(lambda: validate_all(), rounds=1, iterations=1)
+    emit("validation_scorecard", card.report())
+    benchmark.extra_info["passed"] = card.passed
+    benchmark.extra_info["total"] = card.total
+    failing = [t.claim for t, ok, _ in card.rows if not ok]
+    assert card.all_passed, f"paper targets failing: {failing}"

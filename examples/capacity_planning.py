@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Capacity planning from workload analysis — before spending a dollar.
+
+Given a recorded query trace, the reuse-distance CDF *is* the LRU hit-rate
+curve, so fleet sizing can be done analytically and only then validated in
+simulation.  This example:
+
+1. records a flash-crowd trace and profiles its redundancy,
+2. predicts the hit rate of every static fleet size from reuse distances,
+3. validates the prediction against live static-N simulations,
+4. prices the options (including the elastic cache) with the cost model.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.analysis.cost import cost_breakdown
+from repro.experiments.configs import ExperimentParams
+from repro.experiments.harness import build_elastic, build_static, make_trace, run_trace
+from repro.experiments.report import ascii_table
+from repro.workload import RateSchedule
+from repro.workload.distributions import ZipfPicker
+from repro.workload.stats import popularity_profile, reuse_distances, lru_hit_curve
+
+
+def main() -> None:
+    params = ExperimentParams(
+        name="capacity-planning",
+        keyspace_size=4096,
+        schedule=RateSchedule.constant(rate=40, steps=250),
+        records_per_node=250,
+        seed=5,
+    )
+    trace = make_trace(params, picker=ZipfPicker(s=1.1))
+    keys = trace.keys.tolist()
+
+    # ---- 1. profile the workload -----------------------------------------
+    prof = popularity_profile(keys)
+    print(f"Trace: {prof.total} queries, {prof.distinct} distinct keys, "
+          f"zipf exponent ≈ {prof.zipf_exponent:.2f}, "
+          f"hottest key takes {prof.top1_share:.1%} of traffic\n")
+
+    # ---- 2. analytic hit-rate curve ---------------------------------------
+    distances = reuse_distances(keys)
+    per_node = params.records_per_node
+    fleet_sizes = [1, 2, 4, 8]
+    predicted = lru_hit_curve(distances, [n * per_node for n in fleet_sizes])
+
+    # ---- 3. validate against live simulations ----------------------------
+    rows = []
+    for n, pred in zip(fleet_sizes, predicted):
+        bundle = build_static(params, n)
+        metrics = run_trace(bundle, trace)
+        measured = metrics.overall_hit_rate
+        cb = cost_breakdown(metrics, bundle.cloud)
+        rows.append([f"static-{n}", f"{pred:.1%}", f"{measured:.1%}",
+                     f"{metrics.summary(23.0)['final_speedup']:.2f}x",
+                     f"${cb.total_usd:.2f}"])
+
+    elastic = build_elastic(params)
+    em = run_trace(elastic, trace)
+    ecb = cost_breakdown(em, elastic.cloud)
+    rows.append(["elastic (GBA)", "-", f"{em.overall_hit_rate:.1%}",
+                 f"{em.summary(23.0)['final_speedup']:.2f}x",
+                 f"${ecb.total_usd:.2f}"])
+
+    print(ascii_table(
+        ["fleet", "predicted hit rate", "measured hit rate", "speedup", "bill"],
+        rows, title="Analytic sizing vs simulation (per-node capacity "
+                    f"{per_node} records)"))
+
+    # The analytic curve is exact for single-node LRU and a close upper
+    # bound for mod-N fleets (per-node LRU slightly fragments capacity).
+    print("\nNote: predictions are exact for one LRU pool; mod-N splits the "
+          "LRU into per-node pools, costing a point or two of hit rate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Reproduce every figure in the paper's evaluation, in one run.
+
+Prints the rows/series behind Figs. 3-7 (scaled Fig. 3/4; full paper scale
+for Figs. 5-7).  The same runners back the pytest-benchmark harness in
+``benchmarks/``; this script is the human-readable tour.
+
+Run:  python examples/reproduce_paper.py [--fast]
+"""
+
+import sys
+import time
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    fig34_scale = "mini" if fast else "scaled"
+    fig567_scale = "mini" if fast else "full"
+    t0 = time.time()
+
+    print("Fig. 3 — cache benefits, infinite window "
+          "(paper: statics 1.15/1.34/2.0x, GBA >15.2x)")
+    fig3 = run_fig3(fig34_scale)
+    print(fig3.report(), "\n")
+
+    print("Fig. 4 — node-splitting overhead (paper: allocation dominates)")
+    fig4 = run_fig4(fig34_scale)
+    print(f"  {len(fig4.events)} splits, "
+          f"{fig4.splits_with_allocation} with allocation, "
+          f"allocation share {fig4.allocation_fraction:.1%}, "
+          f"total {fig4.total_overhead_s:.0f} virtual s\n")
+
+    windows = (12, 25, 50, 100) if fast else (50, 100, 200, 400)
+    print("Fig. 5 — speedup under eviction/contraction "
+          "(paper: ~1.55x at m=50 ... ~8x at m=400)")
+    print(run_fig5(fig567_scale, windows=windows).report(), "\n")
+
+    print("Fig. 6 — reuse & eviction behaviour "
+          "(paper: reuse peaks in the burst; m=400 keeps allocating after)")
+    print(run_fig6(fig567_scale, windows=windows).report(), "\n")
+
+    print("Fig. 7 — decay sweep at m=100 "
+          "(paper: smaller alpha evicts harder, hits barely move)")
+    print(run_fig7(fig567_scale).report(), "\n")
+
+    print(f"Total wall time: {time.time() - t0:.1f} s "
+          "(the paper needed days of EC2 for the same curves)")
+
+
+if __name__ == "__main__":
+    main()

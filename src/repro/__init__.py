@@ -1,0 +1,93 @@
+"""repro — elastic cooperative cloud caches for service-oriented computing.
+
+A full reproduction of Chiu, Shetty & Agrawal, *"Elastic Cloud Caches for
+Accelerating Service-Oriented Computations"* (SC 2010): the GBA cooperative
+cache, its sliding-window decay eviction and contraction schemes, the
+static-N/LRU baselines, a simulated EC2 substrate, the shoreline-extraction
+workload, and a benchmark harness regenerating every figure in the paper's
+evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import (ElasticCooperativeCache, CacheConfig, SimulatedCloud,
+...                    NetworkModel, SimClock)
+>>> clock = SimClock()
+>>> cloud = SimulatedCloud(clock=clock, rng=np.random.default_rng(0))
+>>> cache = ElasticCooperativeCache(
+...     cloud=cloud, network=NetworkModel(),
+...     config=CacheConfig(ring_range=1 << 16, node_capacity_bytes=1 << 20))
+>>> cache.put(42, b"derived result", nbytes=2048)
+[]
+>>> cache.get(42).value
+b'derived result'
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from repro.cloud import BillingMeter, CloudNode, InstanceType, NetworkModel, SimulatedCloud
+from repro.core import (
+    CacheConfig,
+    Coordinator,
+    ContractionConfig,
+    ElasticCooperativeCache,
+    EvictionConfig,
+    ExperimentTimings,
+    MetricsRecorder,
+    StaticCooperativeCache,
+)
+from repro.services import (
+    CoastalTerrainModel,
+    CompositeService,
+    Service,
+    ServiceRegistry,
+    ServiceResult,
+    ShorelineExtractionService,
+    SyntheticService,
+    WaterLevelModel,
+)
+from repro.sfc import BSquareTree, Linearizer
+from repro.sim import RngStreams, SimClock
+from repro.workload import KeySpace, QueryTrace, QueryWorkload, RateSchedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # sim
+    "SimClock",
+    "RngStreams",
+    # cloud
+    "SimulatedCloud",
+    "CloudNode",
+    "InstanceType",
+    "NetworkModel",
+    "BillingMeter",
+    # core
+    "CacheConfig",
+    "EvictionConfig",
+    "ContractionConfig",
+    "ExperimentTimings",
+    "ElasticCooperativeCache",
+    "StaticCooperativeCache",
+    "Coordinator",
+    "MetricsRecorder",
+    # services
+    "Service",
+    "ServiceResult",
+    "ServiceRegistry",
+    "SyntheticService",
+    "ShorelineExtractionService",
+    "CoastalTerrainModel",
+    "WaterLevelModel",
+    "CompositeService",
+    # sfc
+    "Linearizer",
+    "BSquareTree",
+    # workload
+    "KeySpace",
+    "QueryWorkload",
+    "QueryTrace",
+    "RateSchedule",
+]

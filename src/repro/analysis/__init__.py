@@ -1,0 +1,32 @@
+"""Empirical validation of the paper's analytical claims.
+
+Sec. III analyzes GBA and contraction:
+
+* ``T_migrate = log₂||n|| + ⌈n⌉/2·(T_net + 1)`` — at most half a node's
+  records move per split, and migration time is linear in what moves.
+* ``T_GBA``: O(1) on the fit path (a ``log₂ p`` binary search), dominated
+  by ``⌈n⌉/2·T_net`` on the overflow path.
+* ``T_contract = O(|n_min|·T_net)`` — merge cost linear in the drained
+  node's records.
+
+:mod:`repro.analysis.complexity` measures each bound against live runs;
+:mod:`repro.analysis.cost` turns metrics + billing into the $/query and
+cost-performance quantities the paper argues about in Sec. IV-B/D.
+"""
+
+from repro.analysis.complexity import (
+    check_migration_bound,
+    fit_linear,
+    measure_lookup_scaling,
+    measure_tree_height,
+)
+from repro.analysis.cost import CostBreakdown, cost_breakdown
+
+__all__ = [
+    "check_migration_bound",
+    "fit_linear",
+    "measure_lookup_scaling",
+    "measure_tree_height",
+    "CostBreakdown",
+    "cost_breakdown",
+]

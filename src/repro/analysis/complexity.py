@@ -1,0 +1,121 @@
+"""Measuring the paper's complexity bounds on live structures.
+
+These helpers are consumed by ``benchmarks/bench_analysis_complexity.py``
+and the test suite; they return plain numbers so the callers can assert
+the bounds hold.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.btree.bplustree import BPlusTree
+from repro.core.gba import SplitEvent
+from repro.core.ring import ConsistentHashRing
+
+
+@dataclass(frozen=True)
+class MigrationBoundReport:
+    """Per-split check of the ⌈n⌉/2 record bound."""
+
+    splits: int
+    max_moved: int
+    bound: int
+    violations: int
+
+    @property
+    def holds(self) -> bool:
+        """Whether every split respected the bound."""
+        return self.violations == 0
+
+
+def check_migration_bound(events: list[SplitEvent], capacity_records: int) -> MigrationBoundReport:
+    """Verify no split moved more than ``⌈capacity/2⌉ + 1`` records.
+
+    Sec. III-A: "the maximum number of keys that can be stolen from any
+    node is half of the record capacity of any node: ⌈n⌉/2."  The +1
+    covers the odd-count median convention (we move ``ceil(c/2)`` of a
+    bucket that may itself hold the full node).
+    """
+    bound = capacity_records // 2 + 1
+    moved = [e.records_moved for e in events]
+    violations = sum(1 for m in moved if m > bound)
+    return MigrationBoundReport(
+        splits=len(events),
+        max_moved=max(moved) if moved else 0,
+        bound=bound,
+        violations=violations,
+    )
+
+
+def fit_linear(x, y) -> tuple[float, float, float]:
+    """Least-squares fit ``y ≈ a·x + b``; returns ``(a, b, r²)``.
+
+    Used to confirm migration time is linear in bytes moved (the
+    ``T_net``-dominated regime of ``T_migrate``).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    var_x = float(x.var())
+    if var_x == 0.0:
+        raise ValueError("x has no variance; cannot fit a slope")
+    a = float(((x - x.mean()) * (y - y.mean())).mean() / var_x)
+    b = float(y.mean() - a * x.mean())
+    pred = a * x + b
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(a), float(b), r2
+
+
+def measure_lookup_scaling(bucket_counts: list[int], lookups: int = 20_000,
+                           ring_range: int = 1 << 20, seed: int = 0) -> list[tuple[int, float]]:
+    """Wall time per ``h(k)`` lookup as the bucket count ``p`` grows.
+
+    The paper implements ``h(k)`` "using binary search on B", giving
+    ``T(h(k)) = O(log₂ p)``; lookup time should therefore grow far slower
+    than ``p``.  Returns ``(p, seconds_per_lookup)`` pairs.
+    """
+    rng = np.random.default_rng(seed)
+    results = []
+    for p in bucket_counts:
+        ring = ConsistentHashRing(ring_range=ring_range)
+        positions = rng.choice(ring_range, size=p, replace=False)
+        for pos in positions.tolist():
+            ring.add_bucket(int(pos), "n")
+        keys = rng.integers(0, ring_range, size=lookups).tolist()
+        t0 = time.perf_counter()
+        for k in keys:
+            ring.bucket_for_hkey(k)
+        elapsed = time.perf_counter() - t0
+        results.append((p, elapsed / lookups))
+    return results
+
+
+def measure_tree_height(sizes: list[int], order: int = 64) -> list[tuple[int, int, int]]:
+    """Actual vs worst-case B+-tree height per size.
+
+    Returns ``(n, height, bound)`` where the bound is
+    ``ceil(log_{⌈order/2⌉}(n)) + 1`` — the classical B+-tree height bound
+    that underlies the paper's ``log₂||n||`` search term.
+    """
+    out = []
+    for n in sizes:
+        tree = BPlusTree(order=order)
+        for k in range(n):
+            tree.insert(k, None)
+        height = 1
+        node = tree.root
+        while not node.is_leaf():
+            height += 1
+            node = node.children[0]  # type: ignore[attr-defined]
+        half = max(2, order // 2)
+        bound = math.ceil(math.log(max(n, 2), half)) + 1
+        out.append((n, height, bound))
+    return out

@@ -1,0 +1,61 @@
+"""Cost accounting analysis — the paper's Sec. IV-B/IV-D economics.
+
+"This translates to less overall EC2 usage cost per performance over
+static allocations" is the paper's cost claim; :func:`cost_breakdown`
+computes the quantities behind it — dollars per thousand queries, per hit,
+and the node-hours the bill decomposes into — from any finished run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.provider import SimulatedCloud
+from repro.core.metrics import MetricsRecorder
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Economics of one finished experiment."""
+
+    queries: int
+    hits: int
+    node_hours: float
+    total_usd: float
+    virtual_hours: float
+
+    @property
+    def usd_per_kquery(self) -> float:
+        """Dollars per thousand queries served."""
+        return 1000.0 * self.total_usd / self.queries if self.queries else 0.0
+
+    @property
+    def usd_per_hit(self) -> float:
+        """Dollars per cache hit delivered (the value the cache produces)."""
+        return self.total_usd / self.hits if self.hits else float("inf")
+
+    @property
+    def mean_fleet(self) -> float:
+        """Average concurrently billed nodes."""
+        if self.virtual_hours <= 0:
+            return 0.0
+        return self.node_hours / self.virtual_hours
+
+    def cost_performance(self, speedup: float) -> float:
+        """The paper's "cost per performance": dollars per unit speedup
+        per thousand queries (lower is better)."""
+        if speedup <= 0:
+            return float("inf")
+        return self.usd_per_kquery / speedup
+
+
+def cost_breakdown(metrics: MetricsRecorder, cloud: SimulatedCloud) -> CostBreakdown:
+    """Summarize a finished run's economics."""
+    now = cloud.clock.now
+    return CostBreakdown(
+        queries=metrics.total_queries,
+        hits=metrics.total_hits,
+        node_hours=cloud.billing.total_node_hours(now),
+        total_usd=cloud.billing.total_cost(now),
+        virtual_hours=now / cloud.billing.hour_seconds,
+    )

@@ -1,0 +1,103 @@
+"""Calibration sensitivity — which constants drive which results.
+
+EXPERIMENTS.md recovers three constants from the paper (per-node record
+capacity, hit-path cost, boot latency).  This module quantifies how each
+headline result responds to each constant, so a reader can judge how much
+of the reproduction is *measurement* and how much is *calibration*:
+
+* static-N speedups depend on capacity only (hit rate = N·C/K);
+* GBA's speedup magnitude depends on the hit-path cost (its *ordering*
+  over the statics does not);
+* node counts and hit rates are independent of boot latency — boots only
+  move Fig. 4's overhead numbers.
+
+``benchmarks/bench_sensitivity.py`` runs the sweeps and asserts those
+independence/monotonicity facts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.experiments.configs import ExperimentParams, fig3_params
+from repro.experiments.harness import build_elastic, build_static, make_trace, run_trace
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One run of one system at one parameter value."""
+
+    parameter: str
+    value: float
+    system: str
+    speedup: float
+    hit_rate: float
+    mean_nodes: float
+    max_nodes: int
+
+
+def _run_point(params: ExperimentParams, system: str) -> tuple[float, float, float, int]:
+    trace = make_trace(params)
+    if system == "gba":
+        bundle = build_elastic(params)
+    else:
+        bundle = build_static(params, int(system.split("-")[1]))
+    metrics = run_trace(bundle, trace)
+    nodes = metrics.series("node_count")
+    return (
+        float(metrics.cumulative_speedup(params.timings.service_time_s)[-1]),
+        metrics.overall_hit_rate,
+        float(nodes.mean()),
+        int(nodes.max()),
+    )
+
+
+def sweep_hit_overhead(values: tuple[float, ...] = (0.1, 0.5, 1.0, 2.0),
+                       scale: str = "mini", seed: int = 0) -> list[SweepPoint]:
+    """Vary the hit-path cost; everything else fixed."""
+    points = []
+    for value in values:
+        base = fig3_params(scale, seed)
+        params = dataclasses.replace(
+            base, timings=dataclasses.replace(base.timings, hit_overhead_s=value))
+        for system in ("gba", "static-4"):
+            speedup, hit_rate, mean_n, max_n = _run_point(params, system)
+            points.append(SweepPoint("hit_overhead_s", value, system,
+                                     speedup, hit_rate, mean_n, max_n))
+    return points
+
+
+def sweep_boot_latency(values: tuple[float, ...] = (20.0, 100.0, 300.0),
+                       scale: str = "mini", seed: int = 0) -> list[SweepPoint]:
+    """Vary mean boot latency; everything else fixed."""
+    points = []
+    for value in values:
+        params = dataclasses.replace(fig3_params(scale, seed),
+                                     boot_mean_s=value, boot_std_s=value / 4)
+        speedup, hit_rate, mean_n, max_n = _run_point(params, "gba")
+        points.append(SweepPoint("boot_mean_s", value, "gba",
+                                 speedup, hit_rate, mean_n, max_n))
+    return points
+
+
+def sweep_capacity(fractions: tuple[float, ...] = (0.5, 1.0, 2.0),
+                   scale: str = "mini", seed: int = 0) -> list[SweepPoint]:
+    """Vary per-node capacity around the calibrated value."""
+    points = []
+    base = fig3_params(scale, seed)
+    calibrated = max(2, base.keyspace_size // 15)
+    for frac in fractions:
+        params = dataclasses.replace(
+            base, records_per_node=max(2, int(calibrated * frac)))
+        for system in ("gba", "static-4"):
+            speedup, hit_rate, mean_n, max_n = _run_point(params, system)
+            points.append(SweepPoint("capacity_fraction", frac, system,
+                                     speedup, hit_rate, mean_n, max_n))
+    return points
+
+
+def by_system(points: list[SweepPoint], system: str) -> list[SweepPoint]:
+    """Filter one system's points, ordered by parameter value."""
+    return sorted((p for p in points if p.system == system),
+                  key=lambda p: p.value)

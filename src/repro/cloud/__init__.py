@@ -1,0 +1,30 @@
+"""Simulated IaaS substrate (the paper's Amazon EC2 stand-in).
+
+The paper evaluates on EC2 *Small* instances (1.7 GB memory, 1 virtual core)
+with real allocation latency and hourly billing.  This package reproduces the
+externally observable behaviour on a virtual clock:
+
+* :class:`InstanceType` — a catalog of 2010-era EC2 instance shapes.
+* :class:`CloudNode` — one provisioned instance with a lifecycle.
+* :class:`SimulatedCloud` — the provider: ``allocate()`` costs time
+  (minutes-scale, stochastic), ``terminate()`` stops billing.
+* :class:`NetworkModel` — latency + bandwidth transfer-time model, the
+  paper's ``T_net``.
+* :class:`BillingMeter` — hourly-rounded cost accounting per node.
+"""
+
+from repro.cloud.billing import BillingMeter
+from repro.cloud.instance import InstanceType, CloudNode, NodeState, INSTANCE_TYPES
+from repro.cloud.network import NetworkModel
+from repro.cloud.provider import AllocationRecord, SimulatedCloud
+
+__all__ = [
+    "InstanceType",
+    "CloudNode",
+    "NodeState",
+    "INSTANCE_TYPES",
+    "SimulatedCloud",
+    "AllocationRecord",
+    "NetworkModel",
+    "BillingMeter",
+]

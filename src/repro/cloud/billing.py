@@ -1,0 +1,66 @@
+"""Hourly-rounded cost accounting.
+
+The paper's cost argument ("far less nodes than statically allocated
+systems ... translates to less overall EC2 usage cost", Sec. IV-B) needs a
+meter that can compare GBA's elastic node population against a static fleet.
+EC2 in 2010 billed per *started* instance-hour, which is what we round to.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cloud.instance import CloudNode
+
+
+@dataclass
+class BillingMeter:
+    """Accumulates instance-hour charges for a set of nodes.
+
+    Parameters
+    ----------
+    hour_seconds:
+        Length of a billable hour in virtual seconds.  Experiments that
+        compress time (e.g. 1 virtual "hour" = 60 s) may override this;
+        the default is a real hour.
+    round_up:
+        If true (EC2 semantics), a partial hour bills as a full hour.
+    """
+
+    hour_seconds: float = 3600.0
+    round_up: bool = True
+    _nodes: dict[str, CloudNode] = field(default_factory=dict)
+
+    def watch(self, node: CloudNode) -> None:
+        """Start accounting for ``node`` (idempotent)."""
+        self._nodes[node.node_id] = node
+
+    def node_hours(self, node: CloudNode, now: float) -> float:
+        """Billable hours for one node as of virtual time ``now``."""
+        hours = node.uptime(now) / self.hour_seconds
+        if self.round_up:
+            return float(math.ceil(hours)) if hours > 0 else 0.0
+        return hours
+
+    def node_cost(self, node: CloudNode, now: float) -> float:
+        """Dollar cost for one node as of ``now``."""
+        return self.node_hours(node, now) * node.itype.hourly_cost
+
+    def total_cost(self, now: float) -> float:
+        """Dollar cost across every watched node (live and terminated)."""
+        return sum(self.node_cost(n, now) for n in self._nodes.values())
+
+    def total_node_hours(self, now: float) -> float:
+        """Billable instance-hours across every watched node."""
+        return sum(self.node_hours(n, now) for n in self._nodes.values())
+
+    def summary(self, now: float) -> dict:
+        """A flat dict suitable for experiment reports."""
+        live = sum(1 for n in self._nodes.values() if n.terminated_at is None)
+        return {
+            "nodes_total": len(self._nodes),
+            "nodes_live": live,
+            "node_hours": self.total_node_hours(now),
+            "cost_usd": self.total_cost(now),
+        }

@@ -1,0 +1,124 @@
+"""Instance types and node lifecycle.
+
+The catalog mirrors the 2010-era Amazon EC2 line-up the paper ran on; the
+default everywhere is ``m1.small`` ("Small EC2 Instance ... 1.7 GB of memory,
+1 virtual core", Sec. IV-A).  Prices are the 2010 us-east on-demand rates,
+used only for relative cost accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class NodeState(enum.Enum):
+    """Lifecycle of a provisioned cloud node."""
+
+    PENDING = "pending"  #: allocation requested, instance booting
+    RUNNING = "running"  #: usable (and billing)
+    TERMINATED = "terminated"  #: released; billing stopped
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """An immutable instance shape.
+
+    Attributes
+    ----------
+    name:
+        Provider SKU, e.g. ``"m1.small"``.
+    memory_bytes:
+        RAM available to the cache server on this instance.  The usable
+        cache capacity is ``memory_bytes * usable_fraction`` (the OS, JVM,
+        and index overhead claim the rest).
+    cores:
+        Virtual core count (informational; the cache server is single-core).
+    hourly_cost:
+        On-demand price in USD/hour (2010 us-east rates).
+    network_gbps:
+        NIC bandwidth in Gbit/s, consumed by :class:`~repro.cloud.network.NetworkModel`.
+    """
+
+    name: str
+    memory_bytes: int
+    cores: int
+    hourly_cost: float
+    network_gbps: float = 1.0
+    usable_fraction: float = 0.80
+
+    @property
+    def usable_bytes(self) -> int:
+        """Bytes actually available for cached records + index."""
+        return int(self.memory_bytes * self.usable_fraction)
+
+
+#: 2010-era EC2 on-demand catalog (us-east-1, Linux).
+INSTANCE_TYPES: dict[str, InstanceType] = {
+    t.name: t
+    for t in (
+        InstanceType("m1.small", memory_bytes=1_700_000_000, cores=1, hourly_cost=0.085,
+                     network_gbps=0.25),
+        InstanceType("m1.large", memory_bytes=7_500_000_000, cores=2, hourly_cost=0.34,
+                     network_gbps=0.5),
+        InstanceType("m1.xlarge", memory_bytes=15_000_000_000, cores=4, hourly_cost=0.68,
+                     network_gbps=1.0),
+        InstanceType("c1.medium", memory_bytes=1_700_000_000, cores=2, hourly_cost=0.17,
+                     network_gbps=0.5),
+        InstanceType("c1.xlarge", memory_bytes=7_000_000_000, cores=8, hourly_cost=0.68,
+                     network_gbps=1.0),
+        InstanceType("m2.2xlarge", memory_bytes=34_200_000_000, cores=4, hourly_cost=1.20,
+                     network_gbps=1.0),
+    )
+}
+
+
+@dataclass
+class CloudNode:
+    """One provisioned instance.
+
+    Nodes are created by :class:`~repro.cloud.provider.SimulatedCloud` and
+    handed to the cache layer, which wraps them in
+    :class:`~repro.core.cachenode.CacheNode`.
+
+    Attributes
+    ----------
+    node_id:
+        Provider-unique id, e.g. ``"i-0003"``.
+    itype:
+        The :class:`InstanceType` this node runs on.
+    launched_at / terminated_at:
+        Virtual timestamps bounding the billing period.
+    """
+
+    node_id: str
+    itype: InstanceType
+    state: NodeState = NodeState.PENDING
+    launched_at: float = 0.0
+    ready_at: float = 0.0
+    terminated_at: float | None = None
+    tags: dict = field(default_factory=dict)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """The ``⌈n⌉`` of the paper: total cache capacity on this node."""
+        return self.itype.usable_bytes
+
+    def mark_running(self, now: float) -> None:
+        """Transition PENDING → RUNNING at virtual time ``now``."""
+        if self.state is not NodeState.PENDING:
+            raise ValueError(f"node {self.node_id} is {self.state.value}, not pending")
+        self.state = NodeState.RUNNING
+        self.ready_at = now
+
+    def mark_terminated(self, now: float) -> None:
+        """Transition RUNNING/PENDING → TERMINATED at virtual time ``now``."""
+        if self.state is NodeState.TERMINATED:
+            raise ValueError(f"node {self.node_id} already terminated")
+        self.state = NodeState.TERMINATED
+        self.terminated_at = now
+
+    def uptime(self, now: float) -> float:
+        """Seconds between launch and termination (or ``now`` if live)."""
+        end = self.terminated_at if self.terminated_at is not None else now
+        return max(0.0, end - self.launched_at)

@@ -1,0 +1,67 @@
+"""Transfer-time model — the paper's ``T_net``.
+
+The migration analysis in Sec. III-A bounds GBA's overflow path by
+``O(⌈n⌉/2 · T_net)`` — "the expected dominance of record transfer time".
+All we need from the network substrate is a deterministic-but-configurable
+mapping from (bytes, endpoints) to virtual seconds; a latency + bandwidth
+(affine) model captures both the per-record RPC overhead the paper observes
+on small shoreline results (<1 kB) and the bulk-transfer behaviour of
+migration sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class NetworkModel:
+    """Affine latency/bandwidth model between cache nodes.
+
+    Parameters
+    ----------
+    latency_s:
+        One-way per-message latency in seconds (intra-region EC2 in 2010 was
+        a few hundred microseconds; the default is conservative).
+    bandwidth_bps:
+        Sustained point-to-point bandwidth in *bytes*/second.
+    per_record_overhead_s:
+        Fixed serialization/deserialization cost per record, added on top of
+        the byte cost for record-granular transfers (the ``+1`` in the
+        paper's ``⌈n⌉/2 (T_net + 1)`` term).
+    jitter_frac:
+        If nonzero, transfer times are multiplied by a lognormal factor with
+        this coefficient of variation, drawn from ``rng``.
+    """
+
+    latency_s: float = 5e-4
+    bandwidth_bps: float = 30_000_000.0  # ~0.25 Gbit/s, m1.small NIC
+    per_record_overhead_s: float = 1e-4
+    jitter_frac: float = 0.0
+    rng: np.random.Generator | None = None
+
+    def _jitter(self) -> float:
+        if self.jitter_frac <= 0.0 or self.rng is None:
+            return 1.0
+        sigma = self.jitter_frac
+        return float(self.rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+
+    def transfer_time(self, nbytes: int, nrecords: int = 1) -> float:
+        """Seconds to move ``nbytes`` spread over ``nrecords`` records."""
+        if nbytes < 0 or nrecords < 0:
+            raise ValueError("negative transfer size")
+        base = (
+            self.latency_s
+            + nbytes / self.bandwidth_bps
+            + nrecords * self.per_record_overhead_s
+        )
+        return base * self._jitter()
+
+    def rpc_time(self, request_bytes: int = 128, reply_bytes: int = 1024) -> float:
+        """Round-trip time for a small lookup RPC (cache hit path)."""
+        return (
+            2.0 * self.latency_s
+            + (request_bytes + reply_bytes) / self.bandwidth_bps
+        ) * self._jitter()

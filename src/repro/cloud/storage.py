@@ -1,0 +1,156 @@
+"""Cloud storage tiers — the Sec. IV-D cost/performance discussion.
+
+"We have also assessed the various cost aspects of the Cloud's persistent
+storage, such as Amazon S3 and Elastic Block Storage (EBS), and other
+machine instance-types in our cache framework.  The cost varies among the
+added benefits of data persistence and machine instances with higher
+bandwidth and memory." (Sec. IV-D; details deferred to the companion
+paper [9].)
+
+This module makes that assessment concrete: a catalog of 2010-era tiers
+(instance RAM / EBS / S3) with latency, bandwidth, and pricing, and a
+:class:`StoragePlan` that prices a cache deployment's footprint and access
+pattern on each tier.  ``benchmarks/bench_storage_tiers.py`` sweeps the
+hit-rate/footprint space and reports the crossovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Seconds per 30-day billing month.
+MONTH_SECONDS = 30 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class StorageTier:
+    """One storage medium's performance and 2010-era pricing.
+
+    Attributes
+    ----------
+    name:
+        Catalog key.
+    read_latency_s / write_latency_s:
+        Per-operation latency, excluding transfer.
+    bandwidth_bps:
+        Sustained read bandwidth in bytes/second.
+    gb_month_usd:
+        Capacity price (0 for instance RAM — it comes with the node).
+    per_million_requests_usd:
+        Request pricing (S3-style; 0 for block/RAM tiers).
+    persistent:
+        Whether data survives instance termination.
+    """
+
+    name: str
+    read_latency_s: float
+    write_latency_s: float
+    bandwidth_bps: float
+    gb_month_usd: float
+    per_million_requests_usd: float
+    persistent: bool
+
+    def access_time(self, nbytes: int, write: bool = False) -> float:
+        """Seconds to read (or write) one object of ``nbytes``."""
+        latency = self.write_latency_s if write else self.read_latency_s
+        return latency + nbytes / self.bandwidth_bps
+
+    def monthly_capacity_cost(self, total_bytes: int) -> float:
+        """Dollars per month to hold ``total_bytes``."""
+        return (total_bytes / 1e9) * self.gb_month_usd
+
+    def request_cost(self, n_requests: int) -> float:
+        """Dollars for ``n_requests`` operations."""
+        return (n_requests / 1e6) * self.per_million_requests_usd
+
+
+#: 2010-era us-east tiers.  RAM capacity cost is carried by the instance
+#: (m1.small, $0.085/h ≈ $61/month for 1.7 GB ⇒ ~$36/GB-month embedded in
+#: compute — accounted separately by the billing meter, so 0 here).
+STORAGE_TIERS: dict[str, StorageTier] = {
+    t.name: t
+    for t in (
+        StorageTier("ram", read_latency_s=2e-6, write_latency_s=2e-6,
+                    bandwidth_bps=2e9, gb_month_usd=0.0,
+                    per_million_requests_usd=0.0, persistent=False),
+        StorageTier("ebs", read_latency_s=8e-3, write_latency_s=10e-3,
+                    bandwidth_bps=60e6, gb_month_usd=0.10,
+                    per_million_requests_usd=0.10, persistent=True),
+        StorageTier("s3", read_latency_s=80e-3, write_latency_s=120e-3,
+                    bandwidth_bps=25e6, gb_month_usd=0.15,
+                    per_million_requests_usd=10.0, persistent=True),
+    )
+}
+
+
+@dataclass(frozen=True)
+class StoragePlan:
+    """Prices one cache deployment on one tier.
+
+    Parameters
+    ----------
+    tier:
+        The storage medium.
+    footprint_bytes:
+        Total cached data held.
+    node_hourly_usd:
+        Compute price of each cache node (RAM tier needs nodes sized to
+        the footprint; persistent tiers still need at least one front
+        node to run the index).
+    node_capacity_bytes:
+        In-memory capacity per node (determines the RAM-tier fleet).
+    """
+
+    tier: StorageTier
+    footprint_bytes: int
+    node_hourly_usd: float = 0.085
+    node_capacity_bytes: int = 1_360_000_000
+
+    @property
+    def nodes_needed(self) -> int:
+        """Instances required to host the footprint on this tier."""
+        if self.tier.name == "ram":
+            return max(1, -(-self.footprint_bytes // self.node_capacity_bytes))
+        return 1  # persistent tiers keep one coordinator/index node
+
+    def monthly_cost(self, reads_per_month: int, mean_object_bytes: int) -> float:
+        """Total dollars per month: compute + capacity + requests."""
+        compute = self.nodes_needed * self.node_hourly_usd * (MONTH_SECONDS / 3600.0)
+        capacity = self.tier.monthly_capacity_cost(self.footprint_bytes)
+        requests = self.tier.request_cost(reads_per_month)
+        return compute + capacity + requests
+
+    def mean_hit_time(self, mean_object_bytes: int) -> float:
+        """Seconds to serve one cache hit from this tier."""
+        return self.tier.access_time(mean_object_bytes)
+
+    def effective_speedup(self, service_time_s: float, hit_rate: float,
+                          mean_object_bytes: int,
+                          overhead_s: float = 0.05) -> float:
+        """Speedup over always-compute at a given hit rate on this tier."""
+        hit_time = self.mean_hit_time(mean_object_bytes) + overhead_s
+        mean = hit_rate * hit_time + (1.0 - hit_rate) * service_time_s
+        return service_time_s / mean
+
+
+def compare_tiers(footprint_bytes: int, reads_per_month: int,
+                  mean_object_bytes: int, service_time_s: float = 23.0,
+                  hit_rate: float = 0.9) -> list[dict]:
+    """The Sec. IV-D comparison: cost and speedup per tier.
+
+    Returns one row per tier with monthly cost, hit latency, effective
+    speedup, persistence, and the fleet each tier requires.
+    """
+    rows = []
+    for tier in STORAGE_TIERS.values():
+        plan = StoragePlan(tier=tier, footprint_bytes=footprint_bytes)
+        rows.append({
+            "tier": tier.name,
+            "nodes": plan.nodes_needed,
+            "monthly_usd": plan.monthly_cost(reads_per_month, mean_object_bytes),
+            "hit_time_s": plan.mean_hit_time(mean_object_bytes),
+            "speedup": plan.effective_speedup(service_time_s, hit_rate,
+                                              mean_object_bytes),
+            "persistent": tier.persistent,
+        })
+    return rows

@@ -1,0 +1,67 @@
+"""The paper's contribution: an elastic cooperative cloud cache.
+
+Layering (bottom → top):
+
+* :class:`ConsistentHashRing` — buckets ``B`` and ``NodeMap`` (Sec. II-A,
+  Fig. 1), with per-bucket load accounting used by GBA's fullest-bucket
+  selection.
+* :class:`CacheNode` — one cloud node's slice of the cache: capacity
+  accounting (``||n||``, ``⌈n⌉``) over a B+-tree index.
+* :class:`GreedyBucketAllocator` — Algorithms 1 (GBA-insert) and 2
+  (sweep-and-migrate).
+* :class:`SlidingWindowEvictor` — the decay-based global eviction scheme
+  (Sec. III-B) and :class:`Contractor` — the ε-periodic node-merge
+  heuristic.
+* :class:`ElasticCooperativeCache` — the public facade gluing the above to
+  a :class:`~repro.cloud.SimulatedCloud`.
+* :class:`StaticCooperativeCache` — the paper's static-N / LRU baseline.
+* :class:`Coordinator` — the query front-end: cache lookup, service
+  invocation on miss, metrics.
+"""
+
+from repro.core.config import (
+    CacheConfig,
+    ContractionConfig,
+    EvictionConfig,
+    ExperimentTimings,
+)
+from repro.core.ring import ConsistentHashRing, RingError
+from repro.core.record import CacheRecord
+from repro.core.cachenode import CacheNode, CapacityError
+from repro.core.gba import GreedyBucketAllocator, SplitEvent
+from repro.core.sliding_window import SlidingWindowEvictor
+from repro.core.contraction import Contractor, MergeEvent
+from repro.core.elastic import ElasticCooperativeCache
+from repro.core.static_cache import StaticCooperativeCache
+from repro.core.directory import DirectoryCache
+from repro.core.autoscaler import AutoscaledModNCache, ResizeEvent
+from repro.core.lru import LRUTracker
+from repro.core.coordinator import Coordinator, QueryOutcome
+from repro.core.metrics import MetricsRecorder, StepStats
+
+__all__ = [
+    "CacheConfig",
+    "EvictionConfig",
+    "ContractionConfig",
+    "ExperimentTimings",
+    "ConsistentHashRing",
+    "RingError",
+    "CacheRecord",
+    "CacheNode",
+    "CapacityError",
+    "GreedyBucketAllocator",
+    "SplitEvent",
+    "SlidingWindowEvictor",
+    "Contractor",
+    "MergeEvent",
+    "ElasticCooperativeCache",
+    "StaticCooperativeCache",
+    "DirectoryCache",
+    "AutoscaledModNCache",
+    "ResizeEvent",
+    "LRUTracker",
+    "Coordinator",
+    "QueryOutcome",
+    "MetricsRecorder",
+    "StepStats",
+]

@@ -1,0 +1,162 @@
+"""A rule-based auto-scaler baseline — the Sec. I contrast.
+
+"Automatic scaling services exist on most Clouds.  For instance, Amazon
+AWS allows users to assign certain rules, e.g., scale up by one node if
+the average CPU usage is above 80%.  But while auto-scalers are suitable
+for Map-Reduce applications ... in cases where much more distributed
+coordination is required, elasticity does not directly translate to
+scalability."
+
+This module makes that argument measurable.  :class:`AutoscaledModNCache`
+is what a 2010 practitioner got by pointing a threshold auto-scaler at a
+mod-N cooperative cache: when mean utilization crosses ``scale_up_at`` the
+fleet grows by one, when it falls below ``scale_down_at`` it shrinks by
+one — and every resize **rehashes the whole cache** (the hash-disruption
+cost the paper's consistent hashing exists to avoid), relocating most
+records and paying their transfer time.
+
+The ``bench_ablation_autoscaler`` benchmark races it against GBA on the
+phased workload: both end up with similar fleet sizes, but the autoscaler
+moves an order of magnitude more data and stalls queries during rehashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance import InstanceType
+from repro.cloud.network import NetworkModel
+from repro.cloud.provider import SimulatedCloud
+from repro.core.config import CacheConfig
+from repro.core.static_cache import StaticCooperativeCache
+
+
+@dataclass(frozen=True)
+class ResizeEvent:
+    """One auto-scaling action and its disruption cost."""
+
+    step: int
+    time: float
+    from_nodes: int
+    to_nodes: int
+    records_moved: int
+    bytes_moved: int
+    rehash_s: float
+    allocation_s: float
+
+    @property
+    def overhead_s(self) -> float:
+        """Total virtual seconds this resize stalled the cache."""
+        return self.rehash_s + self.allocation_s
+
+
+class AutoscaledModNCache(StaticCooperativeCache):
+    """Mod-N cache + CPU-style threshold auto-scaler.
+
+    Memory utilization stands in for the "average CPU usage" rule (cache
+    nodes are memory-bound).  Scaling decisions are evaluated once per
+    time slice, like CloudWatch's periodic alarms.
+
+    Parameters
+    ----------
+    scale_up_at / scale_down_at:
+        Mean-utilization thresholds (the canonical 80 % rule, and a
+        low-water mark for scale-in).
+    min_nodes / max_fleet:
+        Fleet bounds.
+    cooldown_slices:
+        Minimum slices between scaling actions (real auto-scalers enforce
+        cooldowns to dampen flapping).
+    """
+
+    def __init__(
+        self,
+        *,
+        cloud: SimulatedCloud,
+        network: NetworkModel,
+        config: CacheConfig,
+        n_nodes: int = 1,
+        scale_up_at: float = 0.80,
+        scale_down_at: float = 0.30,
+        min_nodes: int = 1,
+        max_fleet: int = 20,
+        cooldown_slices: int = 3,
+        itype: InstanceType | None = None,
+    ) -> None:
+        super().__init__(cloud=cloud, network=network, config=config,
+                         n_nodes=n_nodes, itype=itype)
+        if not 0.0 < scale_down_at < scale_up_at <= 1.0:
+            raise ValueError("need 0 < scale_down_at < scale_up_at <= 1")
+        self.scale_up_at = scale_up_at
+        self.scale_down_at = scale_down_at
+        self.min_nodes = max(1, min_nodes)
+        self.max_fleet = max_fleet
+        self.cooldown_slices = max(0, cooldown_slices)
+        self.resize_events: list[ResizeEvent] = []
+        self._slices_since_action = cooldown_slices  # allow immediate action
+
+    # ----------------------------------------------------------- decisions
+
+    @property
+    def utilization(self) -> float:
+        """Mean memory utilization across the fleet (the alarm metric)."""
+        capacity = self.capacity_bytes
+        return self.used_bytes / capacity if capacity else 0.0
+
+    def end_time_slice(self) -> tuple[None, int, None]:
+        """Periodic alarm evaluation: maybe scale, then report nothing
+        (no eviction batches in this baseline — LRU handles overflow)."""
+        self._slices_since_action += 1
+        if self._slices_since_action >= self.cooldown_slices:
+            self._maybe_scale()
+        return None, 0, None
+
+    def _maybe_scale(self) -> None:
+        util = self.utilization
+        n = self.node_count
+        if util >= self.scale_up_at and n < self.max_fleet:
+            self._resize_to(n + 1)
+        elif util <= self.scale_down_at and n > self.min_nodes:
+            self._resize_to(n - 1)
+
+    # --------------------------------------------------------------- resize
+
+    def _resize_to(self, target: int) -> None:
+        """Grow/shrink by one node, paying the full rehash."""
+        t0 = self.clock.now
+        before = self.node_count
+        records_before = self.record_count
+        mean_record = (self.used_bytes // records_before) if records_before else 0
+
+        # resize() blocks on any new instance boot (clock advances inside).
+        moved = self.resize(target)
+        alloc_s = self.clock.now - t0
+
+        # Every relocated record crosses the network.
+        moved_bytes = moved * mean_record
+        rehash_s = self.network.transfer_time(moved_bytes, moved)
+        self.clock.advance(rehash_s)
+
+        self.resize_events.append(ResizeEvent(
+            step=self.clock.step,
+            time=t0,
+            from_nodes=before,
+            to_nodes=target,
+            records_moved=moved,
+            bytes_moved=moved_bytes,
+            rehash_s=rehash_s,
+            allocation_s=alloc_s,
+        ))
+        self._slices_since_action = 0
+
+    # --------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        """Flat snapshot, including disruption totals."""
+        base = super().stats()
+        base.update({
+            "resizes": len(self.resize_events),
+            "rehash_records_moved": sum(e.records_moved for e in self.resize_events),
+            "rehash_overhead_s": sum(e.overhead_s for e in self.resize_events),
+        })
+        return base

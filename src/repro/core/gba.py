@@ -1,0 +1,258 @@
+"""Greedy Bucket Allocation — Algorithms 1 and 2 of the paper.
+
+``GBA-insert(k, v)``: hash to the responsible node; insert directly if it
+fits; otherwise **split the fullest bucket referencing that node** at its
+median key and sweep-migrate the lower half to the least-loaded cooperating
+node — allocating a brand-new cloud node *only as a last resort* ("node
+allocation is a last-resort option to save cost").  The insert then retries
+under the modified structure (the paper's tail recursion, a bounded loop
+here).
+
+``sweep-migrate(k_start, k_end)``: pick ``argmin ||n||`` as destination (or
+``nodeAlloc()`` if the stolen keys would overflow it), then walk the
+B+-tree's linked leaves from ``k_start`` to ``k_end`` transferring every
+record.
+
+Timing faithfulness: migrations advance the virtual clock by
+``T_net``-proportional transfer time, and allocations by the provider's
+boot latency — the two components of Fig. 4's node-splitting overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cloud.network import NetworkModel
+from repro.core.cachenode import CacheNode, CapacityError
+from repro.core.config import CacheConfig
+from repro.core.record import CacheRecord
+from repro.core.ring import ConsistentHashRing
+from repro.sim.clock import SimClock
+
+
+@dataclass(frozen=True)
+class SplitEvent:
+    """One overflow-triggered split (the unit of Fig. 4).
+
+    ``allocation_s`` is zero when the greedy path reused an existing node;
+    otherwise it is the synchronous boot latency paid inline.
+    """
+
+    step: int
+    time: float
+    src_id: str
+    dest_id: str
+    bucket: int
+    new_bucket: int | None  #: None when the whole bucket was reassigned
+    records_moved: int
+    bytes_moved: int
+    migration_s: float
+    allocation_s: float
+
+    @property
+    def allocated(self) -> bool:
+        """Whether this split had to provision a new cloud node."""
+        return self.allocation_s > 0.0
+
+    @property
+    def overhead_s(self) -> float:
+        """Total split overhead: allocation + data movement (Fig. 4's y-axis)."""
+        return self.allocation_s + self.migration_s
+
+
+class GreedyBucketAllocator:
+    """Executes GBA-insert against a ring + node population.
+
+    Parameters
+    ----------
+    ring:
+        The shared :class:`~repro.core.ring.ConsistentHashRing`.
+    clock, network:
+        Virtual time and the ``T_net`` model.
+    config:
+        Structural knobs (greediness, retry bound).
+    allocate_node:
+        Callback provisioning a fresh :class:`CacheNode` (blocking; the
+        clock advances by the boot latency inside).  Supplied by
+        :class:`~repro.core.elastic.ElasticCooperativeCache`, or by the
+        warm-pool extension to make allocation near-instant.
+    live_nodes:
+        Callback returning the current cooperative node population ``N``.
+    """
+
+    def __init__(
+        self,
+        *,
+        ring: ConsistentHashRing,
+        clock: SimClock,
+        network: NetworkModel,
+        config: CacheConfig,
+        allocate_node: Callable[[], CacheNode],
+        live_nodes: Callable[[], list[CacheNode]],
+    ) -> None:
+        self.ring = ring
+        self.clock = clock
+        self.network = network
+        self.config = config
+        self.allocate_node = allocate_node
+        self.live_nodes = live_nodes
+        self.split_events: list[SplitEvent] = []
+
+    # ------------------------------------------------------------- insert
+
+    def insert(self, record: CacheRecord) -> list[SplitEvent]:
+        """Algorithm 1.  Returns the splits this insert triggered (if any)."""
+        events: list[SplitEvent] = []
+        for _ in range(self.config.max_insert_retries):
+            node: CacheNode = self.ring.node_for_hkey(record.hkey)
+
+            # Refresh path: an existing record at this hkey is replaced.
+            existing = node.search(record.hkey)
+            if existing is not None:
+                node.delete(record.hkey)
+                self.ring.record_delete(record.hkey, existing.nbytes)
+
+            if node.fits(record.nbytes):
+                node.insert(record)
+                self.ring.record_insert(record.hkey, record.nbytes)
+                return events
+
+            # Line 7: n overflows — split and retry under the new structure.
+            events.append(self._split(node, pending=record))
+        raise CapacityError(
+            f"record of {record.nbytes} B failed to place after "
+            f"{self.config.max_insert_retries} splits"
+        )
+
+    # -------------------------------------------------------------- split
+
+    def _split(self, node: CacheNode, pending: CacheRecord | None = None) -> SplitEvent:
+        """Split ``node``'s fullest bucket; migrate the lower half away.
+
+        ``pending`` is the record whose insert triggered the overflow (if
+        any): when the migrated interval will own its hash position, the
+        destination must have room for it *too*, or the retry just moves
+        the full bucket somewhere equally full (a ping-pong hypothesis
+        found with single-record buckets on 75 %-full nodes).
+        """
+        b_max = self.ring.fullest_bucket_of(node)
+        segments = self.ring.interval_segments(b_max)
+
+        total = sum(node.count_in(lo, hi) for lo, hi in segments)
+        if total == 0:
+            raise CapacityError(
+                f"{node.node_id} overflows with an empty fullest bucket: "
+                "record larger than node capacity"
+            )
+
+        # k^μ: the median of the bucket's records in hash order; we move
+        # [min(b_max), k^μ] — "approximately half the keys ... from the
+        # lowest key to the median".
+        move_count = (total + 1) // 2
+        split_hkey = self._kth_hkey_in(node, segments, move_count - 1)
+
+        # Preview the victim set *without* mutating, then pick (or
+        # allocate) the destination.  Destination selection is the only
+        # step that can fail (quota, capacity); doing it first keeps the
+        # cache consistent when it does.
+        degenerate = split_hkey == b_max
+        preview: list[CacheRecord] = []
+        pending_follows = False
+        for lo, hi in segments:
+            covers_split = not degenerate and lo <= split_hkey <= hi
+            seg_hi = split_hkey if covers_split else hi
+            preview.extend(node.records_in(lo, seg_hi))
+            if pending is not None and lo <= pending.hkey <= seg_hi:
+                pending_follows = True
+            if covers_split:
+                break
+        required = sum(r.nbytes for r in preview)
+        # Non-degenerate splits always change the bucket structure, so
+        # retries make progress even if the destination later splits too.
+        # A degenerate whole-bucket reassign changes nothing structural —
+        # if the destination can't also hold the pending record, the full
+        # bucket just ping-pongs between equally full nodes forever.
+        if degenerate and pending_follows:
+            required += pending.nbytes
+        dest, alloc_s = self._choose_destination(node, required)
+
+        victims: list[CacheRecord] = []
+        if degenerate:
+            # Degenerate split (single-record bucket at the bucket position):
+            # reassign the entire bucket instead of inserting a duplicate.
+            for lo, hi in segments:
+                victims.extend(node.extract_range(lo, hi))
+            self.ring.reassign_bucket(b_max, dest)
+            new_bucket: int | None = None
+        else:
+            # Take segments in circular order up to and including k^μ.
+            for lo, hi in segments:
+                if lo <= split_hkey <= hi:
+                    victims.extend(node.extract_range(lo, split_hkey))
+                    break
+                victims.extend(node.extract_range(lo, hi))
+            new_bucket = split_hkey
+            self.ring.add_bucket(new_bucket, dest)
+            moved_bytes = sum(r.nbytes for r in victims)
+            self.ring.transfer_load(b_max, new_bucket, moved_bytes, len(victims))
+
+        bytes_moved = sum(r.nbytes for r in victims)
+        migration_s = self.network.transfer_time(bytes_moved, len(victims))
+        self.clock.advance(migration_s)
+        for rec in victims:
+            dest.insert(rec)
+
+        event = SplitEvent(
+            step=self.clock.step,
+            time=self.clock.now,
+            src_id=node.node_id,
+            dest_id=dest.node_id,
+            bucket=b_max,
+            new_bucket=new_bucket,
+            records_moved=len(victims),
+            bytes_moved=bytes_moved,
+            migration_s=migration_s,
+            allocation_s=alloc_s,
+        )
+        self.split_events.append(event)
+        return event
+
+    @staticmethod
+    def _kth_hkey_in(node: CacheNode, segments: list[tuple[int, int]], k: int) -> int:
+        """Hash position of the ``k``-th (0-based) record across segments.
+
+        Segments arrive in circular order from
+        :meth:`~repro.core.ring.ConsistentHashRing.interval_segments`; with
+        the sentinel bucket there is exactly one.
+        """
+        remaining = k
+        for lo, hi in segments:
+            for rec in node.records_in(lo, hi):
+                if remaining == 0:
+                    return rec.hkey
+                remaining -= 1
+        raise IndexError(f"bucket holds fewer than {k + 1} records")
+
+    def _choose_destination(
+        self, src: CacheNode, nbytes: int
+    ) -> tuple[CacheNode, float]:
+        """Algorithm 2 lines 1-5: greedy least-loaded node, else allocate.
+
+        Returns ``(destination, allocation_seconds)``.
+        """
+        if self.config.greedy:
+            candidates = [n for n in self.live_nodes() if n is not src]
+            if candidates:
+                dest = min(candidates, key=lambda n: (n.used_bytes, n.node_id))
+                if dest.fits(nbytes):
+                    return dest, 0.0
+        t0 = self.clock.now
+        dest = self.allocate_node()
+        alloc_s = self.clock.now - t0
+        if not dest.fits(nbytes):
+            raise CapacityError(
+                f"freshly allocated {dest.node_id} ({dest.capacity_bytes} B) "
+                f"cannot hold {nbytes} B migration"
+            )
+        return dest, alloc_s

@@ -1,0 +1,59 @@
+"""LRU recency tracking for the static baselines.
+
+"The fixed-node settings subscribe to the simple LRU eviction policy"
+(Sec. IV-B) — the same policy memcached uses, which Sec. V contrasts with
+the elastic design.  One tracker per static cache node.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUTracker:
+    """Recency order over hash keys, O(1) touch/evict.
+
+    Examples
+    --------
+    >>> lru = LRUTracker()
+    >>> lru.touch(1); lru.touch(2); lru.touch(1)
+    >>> lru.victim()
+    2
+    """
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, hkey: int) -> bool:
+        return hkey in self._order
+
+    def touch(self, hkey: int) -> None:
+        """Mark ``hkey`` as most recently used (inserting if new)."""
+        if hkey in self._order:
+            self._order.move_to_end(hkey)
+        else:
+            self._order[hkey] = None
+
+    def victim(self) -> int:
+        """The least recently used key (not removed).
+
+        Raises
+        ------
+        KeyError
+            If the tracker is empty.
+        """
+        if not self._order:
+            raise KeyError("LRU tracker is empty")
+        return next(iter(self._order))
+
+    def pop_victim(self) -> int:
+        """Remove and return the least recently used key."""
+        hkey, _ = self._order.popitem(last=False)
+        return hkey
+
+    def discard(self, hkey: int) -> None:
+        """Forget ``hkey`` if tracked (used when records are deleted)."""
+        self._order.pop(hkey, None)

@@ -1,0 +1,244 @@
+"""Consistent hashing — buckets ``B`` and ``NodeMap`` (Sec. II-A, Fig. 1).
+
+The hash line is ``[0, r)``.  A key ``k`` lands at ``h'(k)`` and is served
+by the bucket at ``h'(k)``'s *closest upper* position (circular), i.e.::
+
+    h(k) = b_1                                   if h'(k) > b_p
+           argmin_{b_i >= h'(k)} (b_i - h'(k))   otherwise
+
+implemented as a binary search over the sorted bucket positions — the
+``O(log₂ p)`` the paper's ``T_GBA`` analysis assumes.
+
+The ring also owns **per-bucket load accounting** (bytes and record counts),
+which Algorithm 1 line 10 needs to find "the fullest bucket referencing
+``n``".  Loads are maintained incrementally by the insert/delete/migrate
+paths; :meth:`check_accounting` cross-checks them against the node trees in
+tests.
+
+Practical note: :class:`~repro.core.elastic.ElasticCooperativeCache` pins a
+**sentinel bucket at position r-1** on the initial node, so every bucket's
+interval ``(b_{i-1}, b_i]`` is a contiguous hash range and the circular
+wrap case never holds live records.  This keeps Alg. 1's median split (which
+sweeps a *contiguous* B+-tree key range) exact without special-casing the
+wrap bucket; the circular lookup semantics above are still implemented and
+tested.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import TYPE_CHECKING, Iterable
+
+from repro.sim.rng import stable_key_hash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cachenode import CacheNode
+
+
+class RingError(RuntimeError):
+    """Raised on structurally invalid ring operations."""
+
+
+class ConsistentHashRing:
+    """The bucket sequence ``B`` and the ``NodeMap`` relation.
+
+    Parameters
+    ----------
+    ring_range:
+        ``r``: hash positions are integers in ``[0, r)``.
+    hash_mode:
+        ``"identity"`` (the paper's ``k mod r``) or ``"splitmix"``
+        (bijective 64-bit mix, then ``mod r``).  See
+        :class:`~repro.core.config.CacheConfig`.
+
+    Examples
+    --------
+    >>> ring = ConsistentHashRing(ring_range=100)
+    >>> ring.add_bucket(99, "n1")
+    >>> ring.add_bucket(49, "n2")
+    >>> ring.node_for_key(10)   # h'(10)=10 <= 49 -> bucket 49
+    'n2'
+    >>> ring.node_for_key(80)   # 49 < 80 <= 99 -> bucket 99
+    'n1'
+    """
+
+    def __init__(self, ring_range: int, hash_mode: str = "identity") -> None:
+        if ring_range < 2:
+            raise RingError("ring_range must be >= 2")
+        if hash_mode not in ("identity", "splitmix"):
+            raise RingError(f"unknown hash_mode {hash_mode!r}")
+        # splitmix64 is a bijection on 64-bit ints; using its full range
+        # keeps h' collision-free (two distinct keys never share a hash
+        # position, which the per-node trees rely on).  Identity mode uses
+        # the caller's r and relies on the keyspace fitting inside it.
+        self.ring_range = (1 << 64) if hash_mode == "splitmix" else ring_range
+        self.hash_mode = hash_mode
+        self.buckets: list[int] = []  #: sorted bucket positions, the paper's B
+        self.node_map: dict[int, "CacheNode | object"] = {}  #: NodeMap[b] = n
+        self.bucket_bytes: dict[int, int] = {}  #: ||b_i|| load accounting
+        self.bucket_records: dict[int, int] = {}
+
+    # ---------------------------------------------------------------- hash
+
+    def hash_key(self, key: int) -> int:
+        """The auxiliary fixed hash ``h'(k) = k mod r`` (or mixed variant).
+
+        In identity mode, keys at or beyond ``r`` would alias (two distinct
+        keys sharing one hash position corrupt the per-node index), so they
+        are rejected rather than silently wrapped; experiments size ``r``
+        to cover the keyspace, as the paper does.
+        """
+        if self.hash_mode == "identity":
+            if not 0 <= key < self.ring_range:
+                raise RingError(
+                    f"key {key} outside identity hash range [0, {self.ring_range}); "
+                    "enlarge ring_range or use hash_mode='splitmix'"
+                )
+            return key
+        return stable_key_hash(key)
+
+    def bucket_for_hkey(self, hkey: int) -> int:
+        """``h(k)``: the closest upper bucket, wrapping circularly."""
+        if not self.buckets:
+            raise RingError("ring has no buckets")
+        idx = bisect_left(self.buckets, hkey)
+        if idx == len(self.buckets):  # h'(k) > b_p: wrap to b_1
+            return self.buckets[0]
+        return self.buckets[idx]
+
+    def node_for_key(self, key: int):
+        """Resolve a key to its responsible cache node."""
+        return self.node_map[self.bucket_for_hkey(self.hash_key(key))]
+
+    def node_for_hkey(self, hkey: int):
+        """Resolve a pre-hashed position to its node."""
+        return self.node_map[self.bucket_for_hkey(hkey)]
+
+    # ------------------------------------------------------------- buckets
+
+    def add_bucket(self, pos: int, node) -> None:
+        """Introduce a bucket at ``pos`` referencing ``node`` (load zero)."""
+        if not 0 <= pos < self.ring_range:
+            raise RingError(f"bucket position {pos} outside [0, {self.ring_range})")
+        if pos in self.node_map:
+            raise RingError(f"bucket {pos} already exists")
+        insort(self.buckets, pos)
+        self.node_map[pos] = node
+        self.bucket_bytes[pos] = 0
+        self.bucket_records[pos] = 0
+
+    def remove_bucket(self, pos: int) -> None:
+        """Drop the bucket at ``pos``; its interval folds into the successor.
+
+        The caller is responsible for having migrated the bucket's records
+        first (its load must be zero).
+        """
+        if pos not in self.node_map:
+            raise RingError(f"no bucket at {pos}")
+        if self.bucket_records[pos]:
+            raise RingError(f"bucket {pos} still holds {self.bucket_records[pos]} records")
+        if len(self.buckets) == 1:
+            raise RingError("cannot remove the last bucket")
+        idx = bisect_left(self.buckets, pos)
+        self.buckets.pop(idx)
+        del self.node_map[pos]
+        del self.bucket_bytes[pos]
+        del self.bucket_records[pos]
+
+    def reassign_bucket(self, pos: int, node) -> None:
+        """Point an existing bucket at a different node (whole-bucket move)."""
+        if pos not in self.node_map:
+            raise RingError(f"no bucket at {pos}")
+        self.node_map[pos] = node
+
+    def buckets_of(self, node) -> list[int]:
+        """All bucket positions referencing ``node``."""
+        return [b for b in self.buckets if self.node_map[b] is node]
+
+    def interval_segments(self, pos: int) -> list[tuple[int, int]]:
+        """The hash-line segment(s) bucket ``pos`` covers, as inclusive
+        ``(lo, hi)`` pairs **in circular order**.
+
+        For bucket ``b_i`` with predecessor ``b_{i-1}`` this is
+        ``[b_{i-1}+1, b_i]``; the first bucket covers the circular tail
+        ``[b_p+1, r-1]`` *followed by* ``[0, b_1]`` (the tail segment is
+        empty — and omitted — when ``b_p == r-1``, i.e. whenever the
+        sentinel bucket is present).  Circular ordering matters to GBA's
+        median split: "the lowest key to the median" is circular distance
+        from the interval's start, not absolute hash position.
+        """
+        if pos not in self.node_map:
+            raise RingError(f"no bucket at {pos}")
+        idx = bisect_left(self.buckets, pos)
+        if len(self.buckets) == 1:
+            return [(0, self.ring_range - 1)]
+        if idx == 0:
+            segments = []
+            tail_lo = self.buckets[-1] + 1
+            if tail_lo <= self.ring_range - 1:
+                segments.append((tail_lo, self.ring_range - 1))
+            segments.append((0, pos))
+            return segments
+        return [(self.buckets[idx - 1] + 1, pos)]
+
+    # ---------------------------------------------------------- accounting
+
+    def record_insert(self, hkey: int, nbytes: int) -> int:
+        """Charge one inserted record to its bucket; returns the bucket."""
+        pos = self.bucket_for_hkey(hkey)
+        self.bucket_bytes[pos] += nbytes
+        self.bucket_records[pos] += 1
+        return pos
+
+    def record_delete(self, hkey: int, nbytes: int) -> int:
+        """Release one deleted record from its bucket; returns the bucket."""
+        pos = self.bucket_for_hkey(hkey)
+        self.bucket_bytes[pos] -= nbytes
+        self.bucket_records[pos] -= 1
+        if self.bucket_bytes[pos] < 0 or self.bucket_records[pos] < 0:
+            raise RingError(f"bucket {pos} accounting went negative")
+        return pos
+
+    def transfer_load(self, src: int, dst: int, nbytes: int, nrecords: int) -> None:
+        """Move accounted load between buckets (used by splits)."""
+        for pos in (src, dst):
+            if pos not in self.node_map:
+                raise RingError(f"no bucket at {pos}")
+        self.bucket_bytes[src] -= nbytes
+        self.bucket_records[src] -= nrecords
+        self.bucket_bytes[dst] += nbytes
+        self.bucket_records[dst] += nrecords
+        if self.bucket_bytes[src] < 0 or self.bucket_records[src] < 0:
+            raise RingError(f"bucket {src} accounting went negative")
+
+    def fullest_bucket_of(self, node) -> int:
+        """Alg. 1 line 10: ``argmax_{b_i} ||b_i||`` with ``NodeMap[b_i] = n``.
+
+        Ties break toward the lowest position, deterministically.
+        """
+        positions = self.buckets_of(node)
+        if not positions:
+            raise RingError(f"node {node!r} owns no buckets")
+        return max(positions, key=lambda b: (self.bucket_bytes[b], -b))
+
+    def node_bytes(self, node) -> int:
+        """Accounted bytes across all of ``node``'s buckets."""
+        return sum(self.bucket_bytes[b] for b in self.buckets_of(node))
+
+    def nodes(self) -> list:
+        """Distinct nodes currently referenced by the ring (stable order)."""
+        seen: list = []
+        for b in self.buckets:
+            node = self.node_map[b]
+            if all(node is not s for s in seen):
+                seen.append(node)
+        return seen
+
+    def check_accounting(self, nodes: Iterable) -> None:
+        """Assert bucket loads agree with node-level usage (test hook)."""
+        for node in nodes:
+            accounted = self.node_bytes(node)
+            actual = node.used_bytes
+            assert accounted == actual, (
+                f"ring accounts {accounted} bytes for {node!r}, node reports {actual}"
+            )

@@ -1,0 +1,167 @@
+"""Sliding-window decay eviction (Sec. III-B, Fig. 2).
+
+A streaming view of user interest: the window ``T = (t_1, ..., t_m)`` holds
+the keys queried in each of the last ``m`` time slices (``t_1`` newest).
+When a slice expires (reaches ``t_{m+1}``), every key in it is scored::
+
+    λ(k) = Σ_{i=1..m} α^{i-1} · |{k ∈ t_i}|
+
+and evicted if ``λ(k) < T_λ``.  Recent queries are rewarded (exponent 0);
+old ones decay.  The baseline threshold ``T_λ = α^{m-1}`` keeps any key
+queried at least once within the window; Fig. 7 fixes the threshold while
+shrinking α, which makes *older-than-log_α(T_λ)* appearances insufficient —
+"a smaller decay value would lead to more aggressive eviction".
+
+Complexity: scoring iterates only a key's **actual appearance slices**
+(maintained incrementally), not all ``m`` slices — ``T_evict`` stays
+proportional to the window's query volume, matching the paper's "its
+contribution can be assumed trivial" observation even at ``m = 400``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.config import EvictionConfig
+
+
+@dataclass
+class EvictionBatch:
+    """Result of one slice expiry."""
+
+    slice_id: int
+    candidates: int  #: distinct keys in the expired slice
+    evicted_keys: list[int] = field(default_factory=list)
+    kept: int = 0
+
+
+class SlidingWindowEvictor:
+    """The global query-interest window.
+
+    Lives at the coordinator; records **every** query (hit or miss) and, on
+    each slice expiry, returns the keys whose decayed score fell below
+    ``T_λ``.  The cache applies the evictions; this class never touches
+    storage.
+
+    Examples
+    --------
+    >>> ev = SlidingWindowEvictor(EvictionConfig(window_slices=2, alpha=0.5,
+    ...                                          threshold=0.6))
+    >>> ev.record(7)
+    >>> for _ in range(3):
+    ...     batch = ev.end_slice()   # key 7's slice expires on the 3rd call
+    >>> batch.evicted_keys           # α^2·0 within window -> 0 < 0.6
+    [7]
+    """
+
+    def __init__(self, config: EvictionConfig) -> None:
+        if not config.enabled:
+            raise ValueError("SlidingWindowEvictor requires a finite window")
+        self.config = config
+        self.m: int = config.window_slices  # type: ignore[assignment]
+        self.alpha = config.alpha
+        self.threshold = config.effective_threshold
+        #: closed slices, oldest first: (slice_id, {key: count})
+        self._slices: deque[tuple[int, dict[int, int]]] = deque()
+        self._current_id = 0
+        self._current: dict[int, int] = {}
+        #: per-key appearance history: key -> list of [slice_id, count]
+        self._appearances: dict[int, list[list[int]]] = {}
+        self.expirations = 0
+
+    # ------------------------------------------------------------- record
+
+    def record(self, key: int) -> None:
+        """Note one query for ``key`` in the current (open) slice."""
+        self._current[key] = self._current.get(key, 0) + 1
+        hist = self._appearances.setdefault(key, [])
+        if hist and hist[-1][0] == self._current_id:
+            hist[-1][1] += 1
+        else:
+            hist.append([self._current_id, 1])
+
+    def score(self, key: int) -> float:
+        """Current ``λ(k)`` over the closed window slices (diagnostic)."""
+        if not self._slices:
+            return 0.0
+        newest_id = self._slices[-1][0]
+        oldest_id = self._slices[0][0]
+        lam = 0.0
+        for sid, count in self._appearances.get(key, ()):  # noqa: B905
+            if oldest_id <= sid <= newest_id:
+                lam += (self.alpha ** (newest_id - sid)) * count
+        return lam
+
+    # ------------------------------------------------------------- expiry
+
+    def end_slice(self) -> EvictionBatch:
+        """Close the current slice; expire and score ``t_{m+1}`` if due.
+
+        Returns an :class:`EvictionBatch`; its ``evicted_keys`` is empty
+        until the window has filled (the first ``m`` slices expire nothing).
+
+        If ``m`` was shrunk since the last call (the adaptive-window
+        extension), every slice now beyond the window expires at once and
+        the batches are merged.
+        """
+        self._slices.append((self._current_id, self._current))
+        self._current_id += 1
+        self._current = {}
+
+        if len(self._slices) <= self.m:
+            return EvictionBatch(slice_id=-1, candidates=0)
+
+        merged: EvictionBatch | None = None
+        while len(self._slices) > self.m:
+            batch = self._expire_one()
+            if merged is None:
+                merged = batch
+            else:
+                merged.slice_id = batch.slice_id
+                merged.candidates += batch.candidates
+                merged.evicted_keys.extend(batch.evicted_keys)
+                merged.kept += batch.kept
+        assert merged is not None
+        return merged
+
+    def _expire_one(self) -> EvictionBatch:
+        """Expire the oldest slice and score its keys."""
+        expired_id, expired = self._slices.popleft()
+        self.expirations += 1
+        newest_id = self._slices[-1][0]
+        batch = EvictionBatch(slice_id=expired_id, candidates=len(expired))
+
+        for key in expired:
+            hist = self._appearances.get(key)
+            if hist is None:
+                continue
+            # Prune expired appearances; sum λ over the live window.
+            lam = 0.0
+            live: list[list[int]] = []
+            for entry in hist:
+                sid, count = entry
+                if sid <= expired_id:
+                    continue
+                live.append(entry)
+                lam += (self.alpha ** (newest_id - sid)) * count
+            if live:
+                self._appearances[key] = live
+            else:
+                del self._appearances[key]
+            if lam < self.threshold:
+                batch.evicted_keys.append(key)
+            else:
+                batch.kept += 1
+        return batch
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def tracked_keys(self) -> int:
+        """Number of keys with live appearance history (memory diagnostic)."""
+        return len(self._appearances)
+
+    def window_fill(self) -> int:
+        """Closed slices currently inside the window (≤ m)."""
+        return len(self._slices)

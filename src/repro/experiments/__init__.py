@@ -1,0 +1,23 @@
+"""Reproduction harness: one module per figure in the paper's evaluation.
+
+* :mod:`repro.experiments.configs` — parameter sets (scaled for CI,
+  full-scale matching the paper).
+* :mod:`repro.experiments.harness` — system assembly + workload driver.
+* :mod:`repro.experiments.fig3` … ``fig7`` — per-figure runners returning
+  the series the paper plots.
+* :mod:`repro.experiments.report` — ASCII tables / CSV emission.
+"""
+
+from repro.experiments.configs import ExperimentParams, fig3_params, fig5_params, fig7_params
+from repro.experiments.harness import SystemBundle, build_elastic, build_static, run_trace
+
+__all__ = [
+    "ExperimentParams",
+    "fig3_params",
+    "fig5_params",
+    "fig7_params",
+    "SystemBundle",
+    "build_elastic",
+    "build_static",
+    "run_trace",
+]

@@ -1,0 +1,100 @@
+"""CSV export of figure series — for replotting outside this repo.
+
+``export_all(outdir)`` regenerates every figure's underlying data and
+writes one CSV per curve family, named after the paper's figures.  The
+CLI and benchmark harness print ASCII tables for humans; these files are
+the machine-readable version (gnuplot/pandas-ready).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.fig6 import Fig6Result, run_fig6
+from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.report import csv_lines
+
+
+def _write(path: Path, text: str) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n")
+    return path
+
+
+def export_fig3(result: Fig3Result, outdir: Path) -> list[Path]:
+    """``fig3_speedup.csv`` (one column per variant) + ``fig3_nodes.csv``."""
+    variants = sorted(result.speedup_series)
+    points = max(len(v) for v in result.speedup_series.values())
+    rows = []
+    for i in range(points):
+        base = result.speedup_series[variants[0]]
+        queries = base[i][0] if i < len(base) else ""
+        row = [queries]
+        for name in variants:
+            series = result.speedup_series[name]
+            row.append(series[i][1] if i < len(series) else "")
+        rows.append(row)
+    paths = [_write(outdir / "fig3_speedup.csv",
+                    csv_lines(["queries_elapsed", *variants], rows))]
+    node_rows = [[i, int(n)] for i, n in enumerate(result.gba_nodes)]
+    paths.append(_write(outdir / "fig3_nodes.csv",
+                        csv_lines(["step", "gba_nodes"], node_rows)))
+    return paths
+
+
+def export_fig4(result: Fig4Result, outdir: Path) -> list[Path]:
+    """``fig4_splits.csv``: one row per split event."""
+    rows = [[e.step, e.allocation_s, e.migration_s, e.overhead_s,
+             e.records_moved, int(e.allocated)] for e in result.events]
+    return [_write(outdir / "fig4_splits.csv",
+                   csv_lines(["step", "allocation_s", "migration_s",
+                              "total_s", "records_moved", "allocated"], rows))]
+
+
+def export_fig5(result: Fig5Result, outdir: Path) -> list[Path]:
+    """One CSV per panel: per-step speedup + node count."""
+    paths = []
+    for m, panel in result.panels.items():
+        rows = [[i, float(panel.speedup[i]), int(panel.nodes[i])]
+                for i in range(len(panel.speedup))]
+        paths.append(_write(outdir / f"fig5_m{m}.csv",
+                            csv_lines(["step", "speedup", "nodes"], rows)))
+    return paths
+
+
+def export_fig6(result: Fig6Result, outdir: Path) -> list[Path]:
+    """One CSV per panel: per-step hits, evictions, node count."""
+    paths = []
+    for m, panel in result.panels.items():
+        rows = [[i, int(panel.hits[i]), int(panel.evictions[i]),
+                 int(panel.nodes[i])] for i in range(len(panel.hits))]
+        paths.append(_write(outdir / f"fig6_m{m}.csv",
+                            csv_lines(["step", "hits", "evictions", "nodes"],
+                                      rows)))
+    return paths
+
+
+def export_fig7(result: Fig7Result, outdir: Path) -> list[Path]:
+    """``fig7_reuse.csv``: per-step hits, one column per α."""
+    alphas = sorted(result.curves)
+    length = len(result.curves[alphas[0]].hits)
+    rows = [[i] + [int(result.curves[a].hits[i]) for a in alphas]
+            for i in range(length)]
+    return [_write(outdir / "fig7_reuse.csv",
+                   csv_lines(["step", *[f"alpha_{a}" for a in alphas]], rows))]
+
+
+def export_all(outdir: str | Path, scale34: str = "scaled",
+               scale567: str = "full", seed: int = 0) -> list[Path]:
+    """Regenerate every figure and write all CSVs under ``outdir``."""
+    outdir = Path(outdir)
+    paths: list[Path] = []
+    paths += export_fig3(run_fig3(scale34, seed), outdir)
+    paths += export_fig4(run_fig4(scale34, seed), outdir)
+    paths += export_fig5(run_fig5(scale567, seed), outdir)
+    paths += export_fig6(run_fig6(scale567, seed), outdir)
+    paths += export_fig7(run_fig7(scale567, seed), outdir)
+    return paths

@@ -1,0 +1,96 @@
+"""Figure 3 — cache benefits under an infinite eviction window.
+
+"We run our cache system over static, fixed-node configurations (static-2,
+static-4, static-8) ... against our approach, Greedy Bucket Allocation
+(GBA) ... The relative speedups converge at 1.15× for static-2, 1.34× for
+static-4, and 2× for static-8.  GBA, on the other hand, was capable of
+achieving a relative speedup of over 15.2×. ... GBA allocates 15 nodes in
+the end of the experiment."
+
+Output: per-interval relative speedup (the paper plots one point per
+``I`` queries elapsed, log₁₀ y-axis) and the GBA node-allocation trace
+(right y-axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.configs import ExperimentParams, fig3_params
+from repro.experiments.harness import build_elastic, build_static, make_trace, run_trace
+from repro.experiments.report import ascii_table, banner
+
+
+@dataclass
+class Fig3Result:
+    """Everything Fig. 3 plots."""
+
+    params: ExperimentParams
+    #: variant name -> list of (queries_elapsed, speedup)
+    speedup_series: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+    #: variant name -> final cumulative speedup
+    final_speedup: dict[str, float] = field(default_factory=dict)
+    #: GBA per-step node counts
+    gba_nodes: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: variant name -> mean node allocation over the run
+    mean_nodes: dict[str, float] = field(default_factory=dict)
+    #: variant name -> total cost (USD, simulated billing)
+    cost_usd: dict[str, float] = field(default_factory=dict)
+    #: GBA split events (consumed by Fig. 4)
+    split_events: list = field(default_factory=list)
+
+    def report(self) -> str:
+        """The paper's headline rows."""
+        rows = []
+        for name in self.final_speedup:
+            rows.append([
+                name,
+                self.final_speedup[name],
+                self.mean_nodes[name],
+                self.cost_usd[name],
+            ])
+        table = ascii_table(
+            ["variant", "final speedup", "mean nodes", "cost ($)"], rows,
+        )
+        return banner(f"Fig. 3 ({self.params.name})") + "\n" + table
+
+
+def run_fig3(scale: str = "scaled", seed: int = 0,
+             static_sizes: tuple[int, ...] = (2, 4, 8),
+             intervals: int = 8) -> Fig3Result:
+    """Run GBA and the static baselines over one shared trace.
+
+    Parameters
+    ----------
+    scale:
+        ``"mini"`` / ``"scaled"`` / ``"full"`` (see
+        :func:`~repro.experiments.configs.fig3_params`).
+    intervals:
+        Number of speedup points per curve (the paper's ``I`` spacing).
+    """
+    params = fig3_params(scale, seed)
+    trace = make_trace(params)
+    interval_q = max(1, trace.total_queries // intervals)
+    result = Fig3Result(params=params)
+    baseline = params.timings.service_time_s
+
+    gba = build_elastic(params)
+    metrics = run_trace(gba, trace)
+    result.speedup_series["gba"] = metrics.interval_speedup(baseline, interval_q)
+    result.final_speedup["gba"] = float(metrics.cumulative_speedup(baseline)[-1])
+    result.gba_nodes = metrics.series("node_count")
+    result.mean_nodes["gba"] = metrics.mean_node_count()
+    result.cost_usd["gba"] = gba.cloud.cost_so_far()
+    result.split_events = list(gba.cache.gba.split_events)
+
+    for n in static_sizes:
+        bundle = build_static(params, n)
+        m = run_trace(bundle, trace)
+        name = f"static-{n}"
+        result.speedup_series[name] = m.interval_speedup(baseline, interval_q)
+        result.final_speedup[name] = float(m.cumulative_speedup(baseline)[-1])
+        result.mean_nodes[name] = float(n)
+        result.cost_usd[name] = bundle.cloud.cost_so_far()
+    return result

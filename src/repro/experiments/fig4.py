@@ -1,0 +1,72 @@
+"""Figure 4 — node-splitting overhead.
+
+"We summarize the overhead of node splitting (upon cache overflows) as the
+sum of node allocation and data migration times for GBA.  It is clear from
+this figure that this overhead can be quite large ... it is the node
+allocation time, and not the data movement time, which is the main
+contributor."
+
+Output: one row per split event — when it happened (queries elapsed),
+allocation seconds, migration seconds, total — plus the aggregate
+decomposition that backs the paper's "allocation dominates" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.gba import SplitEvent
+from repro.experiments.configs import ExperimentParams
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.report import ascii_table, banner
+
+
+@dataclass
+class Fig4Result:
+    """Split-overhead series for the Fig. 3 run."""
+
+    params: ExperimentParams
+    events: list[SplitEvent] = field(default_factory=list)
+
+    @property
+    def total_overhead_s(self) -> float:
+        """Seconds spent splitting across the experiment."""
+        return sum(e.overhead_s for e in self.events)
+
+    @property
+    def allocation_fraction(self) -> float:
+        """Share of split overhead attributable to node allocation."""
+        total = self.total_overhead_s
+        if total == 0:
+            return 0.0
+        return sum(e.allocation_s for e in self.events) / total
+
+    @property
+    def splits_with_allocation(self) -> int:
+        """Splits that had to provision a node (vs greedy reuse)."""
+        return sum(1 for e in self.events if e.allocated)
+
+    def series(self) -> list[tuple[int, float, float, float]]:
+        """Rows of (step, allocation_s, migration_s, total_s)."""
+        return [(e.step, e.allocation_s, e.migration_s, e.overhead_s)
+                for e in self.events]
+
+    def report(self) -> str:
+        """Per-split rows plus the decomposition summary."""
+        rows = self.series()
+        table = ascii_table(
+            ["step", "alloc (s)", "migrate (s)", "total (s)"], rows,
+        )
+        summary = (
+            f"splits: {len(self.events)} "
+            f"({self.splits_with_allocation} allocated) | "
+            f"total overhead: {self.total_overhead_s:.1f} s | "
+            f"allocation share: {self.allocation_fraction:.1%}"
+        )
+        return banner(f"Fig. 4 ({self.params.name})") + "\n" + table + "\n" + summary
+
+
+def run_fig4(scale: str = "scaled", seed: int = 0) -> Fig4Result:
+    """Extract split overheads from the Fig. 3 GBA run."""
+    fig3 = run_fig3(scale, seed, static_sizes=())
+    return Fig4Result(params=fig3.params, events=fig3.split_events)

@@ -1,0 +1,97 @@
+"""Figures 5(a-d) — speedup under eviction/contraction.
+
+"We show the relative speedup for varying sliding window sizes of m = 50,
+100, 200, and 400 time steps ... our cache elastically adapts to the
+query-intensive period by improving overall speedup, albeit to varying
+degrees depending on m.  [m=50 peaks ~1.55× with ~2 nodes on average;
+m=400 peaks ~8× with ~6 nodes.]  After the query intensive period expires
+at 300 time steps, the sliding window ... remove[s] nodes as they become
+superfluous."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.configs import ExperimentParams, fig5_params
+from repro.experiments.harness import build_elastic, make_trace, run_trace
+from repro.experiments.report import ascii_table, banner
+
+#: The paper's four panel configurations.
+PANEL_WINDOWS = (50, 100, 200, 400)
+
+
+@dataclass
+class Fig5Panel:
+    """One panel (one window size)."""
+
+    window: int
+    params: ExperimentParams
+    speedup: np.ndarray  #: per-step trailing-window speedup
+    nodes: np.ndarray  #: per-step node allocation
+
+    @property
+    def peak_speedup(self) -> float:
+        """Maximum observable speedup."""
+        return float(self.speedup.max()) if self.speedup.size else 1.0
+
+    @property
+    def mean_nodes(self) -> float:
+        """Average node allocation over the run."""
+        return float(self.nodes.mean()) if self.nodes.size else 0.0
+
+    @property
+    def max_nodes(self) -> int:
+        """Peak node allocation."""
+        return int(self.nodes.max()) if self.nodes.size else 0
+
+    @property
+    def final_nodes(self) -> int:
+        """Node allocation at the end (shows contraction)."""
+        return int(self.nodes[-1]) if self.nodes.size else 0
+
+
+@dataclass
+class Fig5Result:
+    """All four panels."""
+
+    panels: dict[int, Fig5Panel] = field(default_factory=dict)
+
+    def report(self) -> str:
+        """The per-panel summary the paper's text quotes."""
+        rows = [
+            [f"m={p.window}", p.peak_speedup, p.mean_nodes, p.max_nodes, p.final_nodes]
+            for p in self.panels.values()
+        ]
+        table = ascii_table(
+            ["panel", "peak speedup", "mean nodes", "max nodes", "final nodes"],
+            rows,
+        )
+        return banner("Fig. 5 (speedup under eviction/contraction)") + "\n" + table
+
+
+def run_fig5_panel(window: int, scale: str = "full", seed: int = 0,
+                   smooth_steps: int = 20) -> Fig5Panel:
+    """Run one window size over the phased workload."""
+    params = fig5_params(window, scale, seed)
+    trace = make_trace(params)
+    bundle = build_elastic(params)
+    metrics = run_trace(bundle, trace)
+    return Fig5Panel(
+        window=window,
+        params=params,
+        speedup=metrics.windowed_speedup(params.timings.service_time_s,
+                                         window_steps=smooth_steps),
+        nodes=metrics.series("node_count"),
+    )
+
+
+def run_fig5(scale: str = "full", seed: int = 0,
+             windows: tuple[int, ...] = PANEL_WINDOWS) -> Fig5Result:
+    """Run all panels."""
+    result = Fig5Result()
+    for m in windows:
+        result.panels[m] = run_fig5_panel(m, scale, seed)
+    return result

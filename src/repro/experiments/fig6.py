@@ -1,0 +1,98 @@
+"""Figures 6(a-d) — data reuse and eviction behaviour over time.
+
+"We analyze the eviction and data reuse ... behavior over time ...
+invariably, reuse expectedly increase[s] over the query-intensive period
+... After 300 time steps ... the query rate resumes to R = 50/time step,
+which means less chances for reuse.  This allows aggressive eviction
+behaviors in all cases, except [m=400], where the window extends beyond
+300 time steps" — and, for m=400, "node allocation continues to increase
+well after the intensive period".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.configs import ExperimentParams, fig5_params
+from repro.experiments.fig5 import PANEL_WINDOWS
+from repro.experiments.harness import build_elastic, make_trace, run_trace
+from repro.experiments.report import ascii_table, banner
+
+
+@dataclass
+class Fig6Panel:
+    """One panel (one window size): per-step reuse/eviction/node series."""
+
+    window: int
+    params: ExperimentParams
+    hits: np.ndarray
+    evictions: np.ndarray
+    nodes: np.ndarray
+
+    def phase_slices(self) -> dict[str, slice]:
+        """Step ranges of the three workload phases."""
+        phases = self.params.schedule.phases
+        a = phases[0].steps
+        b = a + phases[1].steps
+        return {
+            "normal": slice(0, a),
+            "intensive": slice(a, b),
+            "cooldown": slice(b, None),
+        }
+
+    def phase_means(self, series: np.ndarray) -> dict[str, float]:
+        """Mean of a per-step series within each phase."""
+        return {name: float(series[sl].mean()) if series[sl].size else 0.0
+                for name, sl in self.phase_slices().items()}
+
+
+@dataclass
+class Fig6Result:
+    """All four panels."""
+
+    panels: dict[int, Fig6Panel] = field(default_factory=dict)
+
+    def report(self) -> str:
+        """Phase-mean hits/evictions per panel (the figures' trends)."""
+        rows = []
+        for p in self.panels.values():
+            hit_means = p.phase_means(p.hits)
+            ev_means = p.phase_means(p.evictions)
+            rows.append([
+                f"m={p.window}",
+                hit_means["normal"], hit_means["intensive"], hit_means["cooldown"],
+                ev_means["intensive"], ev_means["cooldown"],
+                int(p.nodes.max()), int(p.nodes[-1]),
+            ])
+        table = ascii_table(
+            ["panel", "hits/step norm", "hits/step intsv", "hits/step cool",
+             "evict/step intsv", "evict/step cool", "max nodes", "final nodes"],
+            rows,
+        )
+        return banner("Fig. 6 (reuse and eviction behaviour)") + "\n" + table
+
+
+def run_fig6_panel(window: int, scale: str = "full", seed: int = 0) -> Fig6Panel:
+    """Run one window size; extract the reuse/eviction/node series."""
+    params = fig5_params(window, scale, seed)
+    trace = make_trace(params)
+    bundle = build_elastic(params)
+    metrics = run_trace(bundle, trace)
+    return Fig6Panel(
+        window=window,
+        params=params,
+        hits=metrics.series("hits"),
+        evictions=metrics.series("evictions"),
+        nodes=metrics.series("node_count"),
+    )
+
+
+def run_fig6(scale: str = "full", seed: int = 0,
+             windows: tuple[int, ...] = PANEL_WINDOWS) -> Fig6Result:
+    """Run all panels."""
+    result = Fig6Result()
+    for m in windows:
+        result.panels[m] = run_fig6_panel(m, scale, seed)
+    return result

@@ -1,0 +1,122 @@
+"""Parameter grid sweeps over experiment configurations.
+
+The ad-hoc sweeps (merge threshold, decay, sensitivity) share a shape:
+take a base :class:`~repro.experiments.configs.ExperimentParams`, vary
+some fields over a cross product, run each cell, collect a summary row.
+:class:`GridSweep` factors that out — including nested-field overrides
+(``"eviction.alpha"``, ``"contraction.merge_threshold"``,
+``"timings.hit_overhead_s"``) and optional multiprocessing via
+:mod:`repro.experiments.parallel`.
+
+Examples
+--------
+>>> from repro.experiments.configs import fig5_params
+>>> sweep = GridSweep(fig5_params(100, "mini"),
+...                   {"eviction.alpha": [0.99, 0.93]})
+>>> len(sweep.cells())
+2
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.experiments.configs import ExperimentParams
+from repro.experiments.harness import build_elastic, make_trace, run_trace
+from repro.experiments.parallel import run_parallel
+
+
+def override(params: ExperimentParams, path: str, value) -> ExperimentParams:
+    """Return a copy of ``params`` with the (possibly nested) field set.
+
+    ``path`` is dotted: ``"seed"`` or ``"eviction.window_slices"``.
+
+    Raises
+    ------
+    AttributeError
+        If any path segment names a missing field.
+    """
+    head, _, rest = path.partition(".")
+    if not hasattr(params, head):
+        raise AttributeError(f"{type(params).__name__} has no field {head!r}")
+    if not rest:
+        return dataclasses.replace(params, **{head: value})
+    inner = getattr(params, head)
+    return dataclasses.replace(params, **{head: override(inner, rest, value)})
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One point of the cross product."""
+
+    overrides: tuple[tuple[str, Any], ...]
+    params: ExperimentParams
+
+
+def _run_cell(params: ExperimentParams) -> dict:
+    """Worker: run the elastic system over the cell's workload."""
+    trace = make_trace(params)
+    bundle = build_elastic(params)
+    metrics = run_trace(bundle, trace)
+    nodes = metrics.series("node_count")
+    return {
+        "speedup": float(metrics.cumulative_speedup(
+            params.timings.service_time_s)[-1]),
+        "hit_rate": metrics.overall_hit_rate,
+        "evictions": metrics.total_evictions,
+        "mean_nodes": float(nodes.mean()),
+        "max_nodes": int(nodes.max()),
+        "cost_usd": bundle.cloud.cost_so_far(),
+        "splits": len(bundle.cache.gba.split_events),
+        "merges": len(bundle.cache.contractor.merge_events),
+    }
+
+
+class GridSweep:
+    """A cross-product sweep over parameter overrides.
+
+    Parameters
+    ----------
+    base:
+        The configuration every cell starts from.
+    axes:
+        Mapping of dotted field path → values to sweep.
+    """
+
+    def __init__(self, base: ExperimentParams,
+                 axes: dict[str, Sequence]) -> None:
+        if not axes:
+            raise ValueError("need at least one axis")
+        self.base = base
+        self.axes = {path: list(values) for path, values in axes.items()}
+
+    def cells(self) -> list[GridCell]:
+        """Every cell of the cross product, in axis order."""
+        paths = list(self.axes)
+        cells = []
+        for combo in itertools.product(*(self.axes[p] for p in paths)):
+            params = self.base
+            for path, value in zip(paths, combo):
+                params = override(params, path, value)
+            cells.append(GridCell(overrides=tuple(zip(paths, combo)),
+                                  params=params))
+        return cells
+
+    def run(self, workers: int | None = 1) -> list[dict]:
+        """Run every cell; returns one row per cell (overrides + summary).
+
+        ``workers > 1`` fans cells across processes (cells are
+        independent deterministic simulations).
+        """
+        cells = self.cells()
+        summaries = run_parallel(_run_cell, [(c.params,) for c in cells],
+                                 workers=workers)
+        rows = []
+        for cell, summary in zip(cells, summaries):
+            row = dict(cell.overrides)
+            row.update(summary)
+            rows.append(row)
+        return rows

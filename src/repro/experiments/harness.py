@@ -1,0 +1,146 @@
+"""System assembly and workload driving.
+
+``build_elastic`` / ``build_static`` wire a full system (clock → cloud →
+cache → coordinator) from an :class:`~repro.experiments.configs.ExperimentParams`;
+``run_trace`` replays a query trace through it, closing a metrics step per
+workload step.
+
+Cold-start convention: construction allocates the initial node(s); the
+clock and billing are then reset so reported time/cost start at the first
+query, as in the paper ("in all of our experiments, the caches are
+initially cold" — cold means empty, not mid-boot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.network import NetworkModel
+from repro.cloud.provider import SimulatedCloud
+from repro.core.coordinator import Coordinator
+from repro.core.elastic import ElasticCooperativeCache
+from repro.core.metrics import MetricsRecorder
+from repro.core.static_cache import StaticCooperativeCache
+from repro.experiments.configs import ExperimentParams
+from repro.services.base import Service, SyntheticService
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngStreams
+from repro.workload.distributions import KeyPicker, UniformPicker
+from repro.workload.generator import QueryWorkload
+from repro.workload.keyspace import KeySpace
+from repro.workload.trace import QueryTrace
+
+
+@dataclass
+class SystemBundle:
+    """One fully wired system under test."""
+
+    params: ExperimentParams
+    clock: SimClock
+    cloud: SimulatedCloud
+    network: NetworkModel
+    cache: ElasticCooperativeCache | StaticCooperativeCache
+    service: Service
+    coordinator: Coordinator
+
+    @property
+    def metrics(self) -> MetricsRecorder:
+        """The coordinator's recorder."""
+        return self.coordinator.metrics
+
+
+def _base_parts(params: ExperimentParams) -> tuple[SimClock, SimulatedCloud, NetworkModel, RngStreams]:
+    streams = RngStreams(seed=params.seed)
+    clock = SimClock()
+    cloud = SimulatedCloud(
+        clock=clock,
+        rng=streams.get("allocation"),
+        boot_mean_s=params.boot_mean_s,
+        boot_std_s=params.boot_std_s,
+        max_nodes=params.max_nodes,
+    )
+    network = NetworkModel()
+    return clock, cloud, network, streams
+
+
+def _finish(params: ExperimentParams, clock: SimClock, cloud: SimulatedCloud,
+            network: NetworkModel, cache, service: Service | None) -> SystemBundle:
+    if service is None:
+        service = SyntheticService(
+            clock,
+            service_time_s=params.timings.service_time_s,
+            result_bytes=params.timings.result_bytes,
+        )
+    # Cold start: setup boots don't count against the experiment.
+    clock.reset()
+    coordinator = Coordinator(
+        cache=cache, service=service, clock=clock,
+        network=network, timings=params.timings,
+    )
+    return SystemBundle(params=params, clock=clock, cloud=cloud,
+                        network=network, cache=cache, service=service,
+                        coordinator=coordinator)
+
+
+def build_elastic(params: ExperimentParams, service: Service | None = None) -> SystemBundle:
+    """Assemble the GBA elastic cache system."""
+    clock, cloud, network, _ = _base_parts(params)
+    cache = ElasticCooperativeCache(
+        cloud=cloud,
+        network=network,
+        config=params.cache_config(),
+        eviction=params.eviction,
+        contraction=params.contraction,
+    )
+    return _finish(params, clock, cloud, network, cache, service)
+
+
+def build_static(params: ExperimentParams, n_nodes: int,
+                 service: Service | None = None) -> SystemBundle:
+    """Assemble a static-N baseline system (mod-N + LRU)."""
+    clock, cloud, network, _ = _base_parts(params)
+    cache = StaticCooperativeCache(
+        cloud=cloud,
+        network=network,
+        config=params.cache_config(),
+        n_nodes=n_nodes,
+    )
+    return _finish(params, clock, cloud, network, cache, service)
+
+
+def make_trace(params: ExperimentParams, picker: KeyPicker | None = None) -> QueryTrace:
+    """Materialize the params' workload into a replayable trace."""
+    streams = RngStreams(seed=params.seed)
+    workload = QueryWorkload(
+        keyspace=KeySpace.from_size(params.keyspace_size, curve=params.curve),
+        schedule=params.schedule,
+        picker=picker or UniformPicker(),
+        rng=streams.get("workload"),
+    )
+    return QueryTrace.record(workload)
+
+
+def run_trace(bundle: SystemBundle, trace: QueryTrace,
+              integrity_every: int | None = None) -> MetricsRecorder:
+    """Replay ``trace`` through ``bundle``, one metrics step per trace step.
+
+    Parameters
+    ----------
+    integrity_every:
+        If set, run the elastic cache's deep structural check every this
+        many steps (tests use it; benchmarks leave it off).
+    """
+    coordinator = bundle.coordinator
+    cloud = bundle.cloud
+    cache = bundle.cache
+    for step, keys in trace.steps():
+        for key in keys.tolist():
+            coordinator.query(int(key))
+        coordinator.end_step(cost_usd=cloud.cost_so_far())
+        if (
+            integrity_every
+            and step % integrity_every == 0
+            and isinstance(cache, ElasticCooperativeCache)
+        ):
+            cache.check_integrity()
+    return coordinator.metrics

@@ -1,0 +1,83 @@
+"""Parallel experiment execution — sweep panels across cores.
+
+Figure sweeps (Fig. 5's four windows, Fig. 7's four decays, sensitivity
+grids) are embarrassingly parallel: each panel is an independent,
+deterministic simulation.  :func:`run_parallel` fans them out over a
+process pool; determinism guarantees bit-identical results to the serial
+path (pinned by ``tests/test_parallel.py``).
+
+Workers are spawned with :mod:`concurrent.futures`' default start method;
+tasks must be module-level callables with picklable arguments (all the
+``run_fig*``/panel functions qualify).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+
+def default_workers(n_tasks: int) -> int:
+    """A sensible pool size: min(tasks, cores, 8)."""
+    return max(1, min(n_tasks, os.cpu_count() or 1, 8))
+
+
+def run_parallel(task: Callable, arg_list: Sequence[tuple],
+                 workers: int | None = None) -> list:
+    """Run ``task(*args)`` for every args-tuple, in parallel.
+
+    Results come back in input order.  With ``workers=1`` (or a single
+    task) everything runs in-process — no pool overhead, easier
+    debugging.
+
+    Examples
+    --------
+    >>> from repro.experiments.parallel import run_parallel
+    >>> run_parallel(pow, [(2, 3), (3, 2)], workers=1)
+    [8, 9]
+    """
+    if workers is None:
+        workers = default_workers(len(arg_list))
+    if workers <= 1 or len(arg_list) <= 1:
+        return [task(*args) for args in arg_list]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(task, *args) for args in arg_list]
+        return [f.result() for f in futures]
+
+
+def run_fig5_parallel(scale: str = "full", seed: int = 0,
+                      windows: tuple[int, ...] = (50, 100, 200, 400),
+                      workers: int | None = None):
+    """Fig. 5 with one process per window panel."""
+    from repro.experiments.fig5 import Fig5Result, run_fig5_panel
+
+    panels = run_parallel(run_fig5_panel,
+                          [(m, scale, seed) for m in windows],
+                          workers=workers)
+    result = Fig5Result()
+    for panel in panels:
+        result.panels[panel.window] = panel
+    return result
+
+
+def _fig7_curve(alpha: float, scale: str, seed: int):
+    from repro.experiments.fig7 import run_fig7
+
+    result = run_fig7(scale=scale, seed=seed, alphas=(alpha,))
+    return result.curves[alpha]
+
+
+def run_fig7_parallel(scale: str = "full", seed: int = 0,
+                      alphas: tuple[float, ...] = (0.99, 0.98, 0.95, 0.93),
+                      workers: int | None = None):
+    """Fig. 7 with one process per decay value."""
+    from repro.experiments.fig7 import Fig7Result
+
+    curves = run_parallel(_fig7_curve,
+                          [(a, scale, seed) for a in alphas],
+                          workers=workers)
+    result = Fig7Result()
+    for curve in curves:
+        result.curves[curve.alpha] = curve
+    return result

@@ -1,0 +1,65 @@
+"""Report formatting: ASCII tables and CSV series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output consistent across experiments.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Floats are shown with 3 significant decimals; everything else via
+    ``str``.
+
+    Examples
+    --------
+    >>> print(ascii_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+------
+    1 | 2.500
+    """
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    out = io.StringIO()
+    if title:
+        out.write(f"{title}\n")
+    out.write(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip() + "\n")
+    out.write("-+-".join("-" * w for w in widths) + "\n")
+    for row in str_rows:
+        out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip() + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def csv_lines(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as minimal CSV (no quoting; numeric/simple cells only)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(
+            f"{c:.6g}" if isinstance(c, float) else str(c) for c in row
+        ))
+    return "\n".join(lines)
+
+
+def downsample(series, every: int) -> list:
+    """Take every ``every``-th element (figures don't need every step)."""
+    return list(series[::every])
+
+
+def banner(text: str) -> str:
+    """A section banner for multi-figure reports."""
+    bar = "=" * max(20, len(text) + 4)
+    return f"{bar}\n  {text}\n{bar}"

@@ -1,0 +1,139 @@
+"""Programmatic paper-target validation — EXPERIMENTS.md as code.
+
+Each :class:`Target` states one qualitative/quantitative claim from the
+paper's evaluation and the tolerance under which our reproduction is
+considered to match.  ``validate_all()`` runs the experiments and returns
+a scorecard; the final benchmark (``bench_validation.py``) asserts a
+perfect card, so any regression against the *paper* (not just against the
+code) fails the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig7 import run_fig7
+
+
+@dataclass(frozen=True)
+class Target:
+    """One claim from the paper, with our acceptance band."""
+
+    figure: str
+    claim: str
+    paper_value: str
+    check: Callable[[dict], tuple[bool, str]]
+
+
+def _within(value: float, lo: float, hi: float) -> bool:
+    return lo <= value <= hi
+
+
+def build_targets() -> list[Target]:
+    """The full target list (see EXPERIMENTS.md for prose)."""
+    return [
+        Target("Fig.3", "static-2 converges near 1.15x", "1.15x",
+               lambda r: (_within(r["fig3"].final_speedup["static-2"], 1.0, 1.35),
+                          f"{r['fig3'].final_speedup['static-2']:.3f}x")),
+        Target("Fig.3", "static-4 converges near 1.34x", "1.34x",
+               lambda r: (_within(r["fig3"].final_speedup["static-4"], 1.15, 1.6),
+                          f"{r['fig3'].final_speedup['static-4']:.3f}x")),
+        Target("Fig.3", "static-8 converges near 2.0x", "2.0x",
+               lambda r: (_within(r["fig3"].final_speedup["static-8"], 1.6, 2.5),
+                          f"{r['fig3'].final_speedup['static-8']:.3f}x")),
+        Target("Fig.3", "GBA exceeds 10x (paper: >15.2x)", ">15.2x",
+               lambda r: (r["fig3"].final_speedup["gba"] > 10,
+                          f"{r['fig3'].final_speedup['gba']:.1f}x")),
+        Target("Fig.3", "GBA fleet stabilizes (no growth in last quarter)",
+               "15 nodes, stable",
+               lambda r: (float(r["fig3"].gba_nodes[-1])
+                          == float(r["fig3"].gba_nodes[-len(r["fig3"].gba_nodes) // 4]),
+                          f"final {int(r['fig3'].gba_nodes[-1])} nodes")),
+        Target("Fig.4", "allocation dominates split overhead", "dominant",
+               lambda r: (r["fig4"].allocation_fraction > 0.9,
+                          f"{r['fig4'].allocation_fraction:.1%}")),
+        Target("Fig.4", "splits are rare (amortized)", "seldom invoked",
+               lambda r: (len(r["fig4"].events)
+                          < r["fig4"].params.schedule.total_queries / 1000,
+                          f"{len(r['fig4'].events)} splits")),
+        Target("Fig.5", "peak speedup monotone in m", "1.55x ... 8x",
+               lambda r: (all(r["fig5"].panels[a].peak_speedup
+                              < r["fig5"].panels[b].peak_speedup
+                              for a, b in zip((50, 100, 200), (100, 200, 400))),
+                          " < ".join(f"{r['fig5'].panels[m].peak_speedup:.2f}"
+                                     for m in (50, 100, 200, 400)))),
+        Target("Fig.5", "m=50 averages ~2 nodes", "⌈1.7⌉ = 2",
+               lambda r: (_within(r["fig5"].panels[50].mean_nodes, 1.5, 3.0),
+                          f"{r['fig5'].panels[50].mean_nodes:.2f}")),
+        Target("Fig.5", "m=400 averages ~6 nodes, max 8", "⌈5.6⌉ = 6, max 8",
+               lambda r: (_within(r["fig5"].panels[400].mean_nodes, 4.5, 8.0)
+                          and r["fig5"].panels[400].max_nodes <= 9,
+                          f"{r['fig5'].panels[400].mean_nodes:.2f}, "
+                          f"max {r['fig5'].panels[400].max_nodes}")),
+        Target("Fig.5", "small windows contract after the burst", "nodes removed",
+               lambda r: (all(r["fig5"].panels[m].final_nodes
+                              < r["fig5"].panels[m].max_nodes
+                              for m in (50, 100, 200)),
+                          "final < max for m<=200")),
+        Target("Fig.7", "smaller α evicts more", "more aggressive",
+               lambda r: (r["fig7"].curves[0.93].total_evictions
+                          >= r["fig7"].curves[0.99].total_evictions,
+                          f"{r['fig7'].curves[0.93].total_evictions} vs "
+                          f"{r['fig7'].curves[0.99].total_evictions}")),
+        Target("Fig.7", "hits vary modestly across α", "no extraordinary change",
+               lambda r: (r["fig7"].curves[0.93].total_hits
+                          > 0.6 * r["fig7"].curves[0.99].total_hits,
+                          f"{r['fig7'].curves[0.93].total_hits} vs "
+                          f"{r['fig7'].curves[0.99].total_hits}")),
+    ]
+
+
+@dataclass
+class Scorecard:
+    """Results of one validation run."""
+
+    rows: list[tuple[Target, bool, str]]
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for _, ok, _ in self.rows if ok)
+
+    @property
+    def total(self) -> int:
+        return len(self.rows)
+
+    @property
+    def all_passed(self) -> bool:
+        return self.passed == self.total
+
+    def report(self) -> str:
+        from repro.experiments.report import ascii_table
+
+        return ascii_table(
+            ["figure", "claim", "paper", "measured", "ok"],
+            [[t.figure, t.claim, t.paper_value, measured,
+              "PASS" if ok else "FAIL"] for t, ok, measured in self.rows],
+            title=f"Paper-target validation: {self.passed}/{self.total}")
+
+
+def validate_all(scale34: str = "scaled", scale567: str = "full",
+                 seed: int = 0) -> Scorecard:
+    """Run every figure and score it against the paper's claims."""
+    results = {
+        "fig3": run_fig3(scale34, seed),
+        "fig4": run_fig4(scale34, seed),
+        "fig5": run_fig5(scale567, seed),
+        "fig7": run_fig7(scale567, seed),
+    }
+    rows = []
+    for target in build_targets():
+        try:
+            ok, measured = target.check(results)
+        except Exception as exc:  # a crashed check is a failed claim
+            ok, measured = False, f"error: {exc}"
+        rows.append((target, ok, measured))
+    return Scorecard(rows=rows)

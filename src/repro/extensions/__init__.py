@@ -1,0 +1,27 @@
+"""Implementations of the paper's proposed future work (Secs. IV-D, VI).
+
+* :mod:`repro.extensions.adaptive_window` — "a dynamically changing m can
+  thus be very useful in driving down cost": a controller that resizes the
+  sliding window to track the observed query rate.
+* :mod:`repro.extensions.warmpool` — "strategies, such as preloading ...
+  can certainly be used to implement an asynchronous node allocation": a
+  pool of pre-booted instances that makes GBA's last-resort allocation
+  near-instant.
+* :mod:`repro.extensions.prefetch` — "record prefetching from a node that
+  is predictably close to invoking migration can also be considered":
+  proactive splits off the query path.
+* :mod:`repro.extensions.replication` — "data replication" for transient
+  availability when a node is lost.
+"""
+
+from repro.extensions.adaptive_window import AdaptiveWindowController
+from repro.extensions.prefetch import PrefetchManager
+from repro.extensions.replication import ReplicationManager
+from repro.extensions.warmpool import WarmPool
+
+__all__ = [
+    "AdaptiveWindowController",
+    "WarmPool",
+    "PrefetchManager",
+    "ReplicationManager",
+]

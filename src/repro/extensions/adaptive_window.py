@@ -1,0 +1,80 @@
+"""Adaptive sliding-window sizing (the paper's headline future work).
+
+Sec. IV-D: "it is m that contributes far more significantly to our system.
+A dynamically changing m can thus be very useful in driving down cost."
+Sec. IV-C observes the failure mode a fixed window causes: with m=400,
+"node allocation continues to increase well after the intensive period ...
+justifying the tradeoff ... is questionable".
+
+Controller: keep the window covering a fixed *query budget* ``B`` rather
+than a fixed step count.  With an exponentially smoothed rate estimate
+``r̂``, the target is ``m = clip(B / r̂, m_min, m_max)`` — the window
+shrinks (in steps) exactly when querying intensifies, holding cache
+footprint (≈ distinct keys within B recent queries) roughly constant, and
+stretches in quiet periods so sparse interest is still captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sliding_window import SlidingWindowEvictor
+
+
+@dataclass
+class AdaptiveWindowController:
+    """Resizes a :class:`SlidingWindowEvictor` to track the query rate.
+
+    Parameters
+    ----------
+    evictor:
+        The window to control (its ``m`` is mutated in place; the window
+        handles multi-slice expiry on shrink).
+    query_budget:
+        Target number of queries the window should span.
+    m_min / m_max:
+        Clamp on the step-count window size.
+    smoothing:
+        EMA coefficient for the rate estimate (0 < s ≤ 1; higher reacts
+        faster).
+
+    Examples
+    --------
+    >>> from repro.core.config import EvictionConfig
+    >>> ev = SlidingWindowEvictor(EvictionConfig(window_slices=100))
+    >>> ctl = AdaptiveWindowController(ev, query_budget=5000)
+    >>> ctl.observe_step(250)   # intensive rate -> window shrinks
+    >>> ev.m < 100
+    True
+    """
+
+    evictor: SlidingWindowEvictor
+    query_budget: int = 10_000
+    m_min: int = 10
+    m_max: int = 800
+    smoothing: float = 0.2
+    _rate_ema: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.query_budget < 1:
+            raise ValueError("query_budget must be >= 1")
+        if not 0 < self.smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        if not 1 <= self.m_min <= self.m_max:
+            raise ValueError("need 1 <= m_min <= m_max")
+
+    @property
+    def rate_estimate(self) -> float:
+        """The current smoothed queries-per-step estimate."""
+        return self._rate_ema
+
+    def observe_step(self, queries_this_step: int) -> None:
+        """Feed one step's query count; retarget the window size."""
+        if self._rate_ema == 0.0:
+            self._rate_ema = float(queries_this_step)
+        else:
+            self._rate_ema += self.smoothing * (queries_this_step - self._rate_ema)
+        if self._rate_ema <= 0.0:
+            return
+        target = int(round(self.query_budget / self._rate_ema))
+        self.evictor.m = max(self.m_min, min(self.m_max, target))

@@ -1,0 +1,65 @@
+"""Predictive pre-splitting (the paper's "record prefetching").
+
+Sec. VI: "Record prefetching from a node that is predictably close to
+invoking migration can also be considered to reduce migration cost."
+
+A :class:`PrefetchManager` watches node fill ratios at step boundaries and
+performs GBA's split *before* overflow forces it onto a query's critical
+path.  The migration cost is still paid (in background virtual time) but
+no individual query observes it, and — combined with a warm pool — neither
+is an allocation wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.elastic import ElasticCooperativeCache
+from repro.core.gba import SplitEvent
+
+
+@dataclass
+class PrefetchManager:
+    """Proactive splitter for an elastic cache.
+
+    Parameters
+    ----------
+    cache:
+        The elastic cache to watch.
+    high_water:
+        Fill ratio (``||n|| / ⌈n⌉``) above which a node is pre-split.
+    max_presplits_per_step:
+        Bound on background work per step boundary (keeps contraction and
+        prefetch from fighting over the same nodes in one step).
+
+    Call :meth:`maybe_presplit` once per time step, after
+    ``coordinator.end_step()``.
+    """
+
+    cache: ElasticCooperativeCache
+    high_water: float = 0.90
+    max_presplits_per_step: int = 2
+    presplit_events: list[SplitEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.high_water < 1.0:
+            raise ValueError("high_water must be in (0, 1)")
+        if self.max_presplits_per_step < 1:
+            raise ValueError("max_presplits_per_step must be >= 1")
+
+    def hot_nodes(self) -> list:
+        """Nodes above the high-water mark, fullest first."""
+        hot = [n for n in self.cache.nodes
+               if n.used_bytes > self.high_water * n.capacity_bytes]
+        return sorted(hot, key=lambda n: (-n.used_bytes, n.node_id))
+
+    def maybe_presplit(self) -> list[SplitEvent]:
+        """Split up to ``max_presplits_per_step`` hot nodes; return events."""
+        events: list[SplitEvent] = []
+        for node in self.hot_nodes()[: self.max_presplits_per_step]:
+            if len(node) < 2:
+                continue  # nothing meaningful to move
+            event = self.cache.gba._split(node)
+            events.append(event)
+        self.presplit_events.extend(events)
+        return events

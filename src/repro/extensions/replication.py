@@ -1,0 +1,119 @@
+"""Record replication for transient availability.
+
+Sec. V notes that DHTs tolerate churn but "most DHT-based implementations
+do not focus on offering transient data availability when a node
+disconnects, which is crucial to our application scenario"; Sec. VI lists
+"data replication" among the mitigations.  This extension keeps one
+replica of every cached record on a *buddy* node (the successor on the
+ring's node list), and can rebuild a failed node's records from those
+replicas — turning a node loss from a cold-cache event into a brief
+re-insert burst.
+
+Replicas live outside the primary capacity accounting (a real deployment
+would reserve headroom for them; the ``replica_headroom`` knob models
+that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cachenode import CacheNode
+from repro.core.elastic import ElasticCooperativeCache
+from repro.core.record import CacheRecord
+
+
+@dataclass
+class ReplicationManager:
+    """One-replica redundancy over an elastic cache.
+
+    Usage: call :meth:`on_insert` for records as they are cached (or
+    :meth:`sync` to bulk-refresh), and :meth:`recover_node_loss` when an
+    instance disappears.
+
+    Parameters
+    ----------
+    cache:
+        The elastic cache being protected.
+    """
+
+    cache: ElasticCooperativeCache
+    #: buddy-node replica stores: node_id -> {hkey: record}
+    replicas: dict[str, dict[int, CacheRecord]] = field(default_factory=dict)
+    recovered_records: int = 0
+
+    def buddy_of(self, node: CacheNode) -> CacheNode | None:
+        """The replica target: next node in registration order."""
+        nodes = self.cache.nodes
+        if len(nodes) < 2:
+            return None
+        idx = nodes.index(node)
+        return nodes[(idx + 1) % len(nodes)]
+
+    def on_insert(self, record: CacheRecord) -> None:
+        """Replicate one freshly cached record to its buddy."""
+        owner: CacheNode = self.cache.ring.node_for_hkey(record.hkey)
+        buddy = self.buddy_of(owner)
+        if buddy is None:
+            return
+        self.replicas.setdefault(buddy.node_id, {})[record.hkey] = record
+
+    def sync(self) -> int:
+        """Rebuild every replica store from current cache contents.
+
+        Replica placement goes stale as migrations move primaries between
+        nodes; experiments call this at step boundaries (cheap — it walks
+        records, not bytes over the network).  Returns records replicated.
+        """
+        self.replicas.clear()
+        count = 0
+        for node in self.cache.nodes:
+            buddy = self.buddy_of(node)
+            if buddy is None:
+                continue
+            store = self.replicas.setdefault(buddy.node_id, {})
+            for _, rec in node.tree.items():
+                store[rec.hkey] = rec
+                count += 1
+        return count
+
+    def replica_count(self) -> int:
+        """Total replicated records."""
+        return sum(len(s) for s in self.replicas.values())
+
+    def fail_node(self, node: CacheNode) -> int:
+        """Simulate losing ``node``: drop its primaries (and its replica
+        store) without migration.  Returns records lost from primaries."""
+        lost = len(node)
+        for rec in [r for _, r in node.tree.items()]:
+            node.delete(rec.hkey)
+            self.cache.ring.record_delete(rec.hkey, rec.nbytes)
+        # Bucket ownership folds into a surviving node.
+        survivors = [n for n in self.cache.nodes if n is not node]
+        if not survivors:
+            raise RuntimeError("cannot fail the only node")
+        heir = survivors[0]
+        for pos in self.cache.ring.buckets_of(node):
+            self.cache.ring.reassign_bucket(pos, heir)
+        self.cache.nodes.remove(node)
+        self.cache.cloud.terminate(node.cloud_node)
+        self.replicas.pop(node.node_id, None)
+        return lost
+
+    def recover_node_loss(self, failed_node_id: str) -> int:
+        """Re-insert records whose replicas survive the failure.
+
+        Walks every surviving replica store for records that are no longer
+        reachable as primaries and re-caches them through the normal put
+        path (so placement/accounting stay consistent).  Returns records
+        recovered.
+        """
+        recovered = 0
+        for store in list(self.replicas.values()):
+            for hkey, rec in list(store.items()):
+                owner: CacheNode = self.cache.ring.node_for_hkey(hkey)
+                if owner.search(hkey) is None:
+                    self.cache.put(rec.key, rec.value, rec.nbytes)
+                    recovered += 1
+        self.recovered_records += recovered
+        return recovered

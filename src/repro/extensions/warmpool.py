@@ -1,0 +1,130 @@
+"""Warm pool: asynchronous node preloading.
+
+Fig. 4 shows node allocation (not data movement) dominating split
+overhead; Sec. VI proposes "asynchronous preloading of EC2 instances" as
+the fix.  A :class:`WarmPool` keeps ``spares`` instances booting in the
+background; when GBA needs a node it takes a ready spare (zero wait) or
+waits only the *remaining* boot time of the most advanced pending spare —
+and immediately starts booting a replacement.
+
+Cost note: spares bill from launch, so the pool trades standing cost for
+latency; the ``bench_ext_warmpool`` benchmark quantifies both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance import CloudNode, InstanceType
+from repro.cloud.provider import SimulatedCloud
+
+
+@dataclass
+class _Spare:
+    node: CloudNode
+    ready_at: float
+
+
+class WarmPool:
+    """Pre-booted instance pool fronting a :class:`SimulatedCloud`.
+
+    Use as the elastic cache's ``node_source``::
+
+        pool = WarmPool(cloud, spares=1)
+        cache = ElasticCooperativeCache(..., node_source=pool.acquire)
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.sim import SimClock
+    >>> cloud = SimulatedCloud(clock=SimClock(), rng=np.random.default_rng(0))
+    >>> pool = WarmPool(cloud, spares=1)
+    >>> cloud.clock.advance(300.0)  # let the spare finish booting
+    300.0
+    >>> t0 = cloud.clock.now
+    >>> node = pool.acquire()
+    >>> cloud.clock.now - t0   # ready spare: zero allocation wait
+    0.0
+    """
+
+    def __init__(self, cloud: SimulatedCloud, spares: int = 1,
+                 itype: InstanceType | None = None) -> None:
+        if spares < 0:
+            raise ValueError("spares must be >= 0")
+        self.cloud = cloud
+        self.itype = itype or cloud.default_itype
+        self.target_spares = spares
+        self._pending: list[_Spare] = []
+        self.acquisitions = 0
+        self.total_wait_s = 0.0
+        self._replenish()
+
+    # ------------------------------------------------------------ internals
+
+    def _replenish(self) -> None:
+        """Start background boots until the pool holds ``target_spares``."""
+        while len(self._pending) < self.target_spares:
+            if self.cloud.live_count() >= self.cloud.max_nodes:
+                break  # quota: don't hold spares the cache can't use
+            node = self.cloud.allocate(self.itype, block=False)
+            self._pending.append(
+                _Spare(node=node, ready_at=self.cloud.clock.now + node.tags["boot_latency"])
+            )
+
+    def _finish_due(self) -> None:
+        """Complete boots whose latency has elapsed."""
+        now = self.cloud.clock.now
+        for spare in self._pending:
+            if spare.node.state.value == "pending" and spare.ready_at <= now:
+                self.cloud.finish_boot(spare.node)
+
+    # ------------------------------------------------------------- acquire
+
+    def ready_count(self) -> int:
+        """Spares usable right now."""
+        self._finish_due()
+        return sum(1 for s in self._pending if s.node.state.value == "running")
+
+    def acquire(self) -> CloudNode:
+        """Hand out a node, waiting only residual boot time if needed."""
+        t0 = self.cloud.clock.now
+        self._finish_due()
+
+        ready = [s for s in self._pending if s.node.state.value == "running"]
+        if ready:
+            spare = ready[0]
+            self._pending.remove(spare)
+        elif self._pending:
+            # Wait out the most advanced pending boot.
+            spare = min(self._pending, key=lambda s: s.ready_at)
+            self._pending.remove(spare)
+            self.cloud.clock.advance_to(spare.ready_at)
+            self.cloud.finish_boot(spare.node)
+        else:
+            # Pool exhausted (e.g. quota) — fall back to a cold boot.
+            node = self.cloud.allocate(self.itype, block=True)
+            self.acquisitions += 1
+            self.total_wait_s += self.cloud.clock.now - t0
+            self._replenish()
+            return node
+
+        self.acquisitions += 1
+        self.total_wait_s += self.cloud.clock.now - t0
+        self._replenish()
+        return spare.node
+
+    # -------------------------------------------------------------- report
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Average allocation wait across acquisitions."""
+        return self.total_wait_s / self.acquisitions if self.acquisitions else 0.0
+
+    def drain(self) -> int:
+        """Terminate all spares (experiment teardown); returns count."""
+        n = 0
+        for spare in self._pending:
+            self.cloud.terminate(spare.node)
+            n += 1
+        self._pending.clear()
+        return n

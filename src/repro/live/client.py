@@ -1,0 +1,270 @@
+"""Clients for the live cache cluster.
+
+:class:`LiveCacheClient` speaks to one server; :class:`LiveClusterClient`
+is the cooperative view: it owns a
+:class:`~repro.core.ring.ConsistentHashRing` whose "nodes" are server
+addresses, routes every key through ``h(k)``, and grows the cluster with
+the same interval-migration that Algorithm 2 performs — an ``extract``
+sweep on the source server streamed into ``put``\\ s on the destination.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.core.ring import ConsistentHashRing
+from repro.live.protocol import ProtocolError, recv_frame, send_frame
+
+
+class LiveCacheClient:
+    """A connection to one cache server (thread-safe via a lock).
+
+    Idempotent requests (get/put/delete/ping/stats) transparently
+    reconnect and retry once if the connection drops between requests —
+    a server restart doesn't strand long-lived clients.  Range streams
+    (sweep/extract) never retry: a half-completed ``extract`` has already
+    removed records, so replaying it would lose data silently.
+    """
+
+    def __init__(self, address: tuple[str, int], timeout: float = 5.0) -> None:
+        self.address = address
+        self.timeout = timeout
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._lock = threading.Lock()
+        self.reconnects = 0
+
+    def close(self) -> None:
+        """Close the connection."""
+        with self._lock:
+            self._sock.close()
+
+    def __enter__(self) -> "LiveCacheClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _reconnect_locked(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+        self._sock = socket.create_connection(self.address,
+                                              timeout=self.timeout)
+        self.reconnects += 1
+
+    def _call(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
+        with self._lock:
+            try:
+                send_frame(self._sock, header, body)
+                return recv_frame(self._sock)
+            except (ProtocolError, OSError):
+                # Stale connection (server restarted, idle timeout):
+                # reconnect and retry this idempotent request once.
+                self._reconnect_locked()
+                send_frame(self._sock, header, body)
+                return recv_frame(self._sock)
+
+    def ping(self) -> bool:
+        """Liveness check."""
+        reply, _ = self._call({"op": "ping"})
+        return bool(reply.get("pong"))
+
+    def get(self, key: int) -> bytes | None:
+        """Fetch a value, or ``None`` on miss."""
+        reply, body = self._call({"op": "get", "key": key})
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "get failed"))
+        return body if reply.get("found") else None
+
+    def put(self, key: int, value: bytes) -> int:
+        """Store a value; returns bytes freed by an overwrite (0 if new).
+
+        Raises
+        ------
+        ProtocolError
+            On server-side overflow (the live server does not split
+            itself; the cluster client handles growth).
+        """
+        reply, _ = self._call({"op": "put", "key": key}, body=value)
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "put failed"))
+        return int(reply.get("freed", 0))
+
+    def delete(self, key: int) -> tuple[bool, int]:
+        """Remove a key; returns ``(existed, bytes_freed)``."""
+        reply, _ = self._call({"op": "delete", "key": key})
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "delete failed"))
+        return bool(reply.get("found")), int(reply.get("freed", 0))
+
+    def _ranged(self, op: str, lo: int, hi: int) -> list[tuple[int, bytes]]:
+        with self._lock:
+            send_frame(self._sock, {"op": op, "lo": lo, "hi": hi})
+            reply, _ = recv_frame(self._sock)
+            if not reply.get("ok"):
+                raise ProtocolError(reply.get("error", f"{op} failed"))
+            records = []
+            for _ in range(int(reply["count"])):
+                head, body = recv_frame(self._sock)
+                records.append((int(head["key"]), body))
+            return records
+
+    def sweep(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
+        """Read all records in ``[lo, hi]`` (non-destructive)."""
+        return self._ranged("sweep", lo, hi)
+
+    def extract(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
+        """Read *and remove* all records in ``[lo, hi]``."""
+        return self._ranged("extract", lo, hi)
+
+    def stats(self) -> dict:
+        """Server-side counters."""
+        reply, _ = self._call({"op": "stats"})
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "stats failed"))
+        return reply
+
+
+class LiveClusterClient:
+    """Consistent-hash routing over live cache servers.
+
+    Parameters
+    ----------
+    addresses:
+        Initial server ``(host, port)`` list; servers are assigned evenly
+        spaced buckets (plus the sentinel at ``r-1``).
+    ring_range:
+        The hash line ``[0, r)``; keys must be below it (identity mode).
+
+    Examples
+    --------
+    See ``examples/live_cluster.py`` and ``tests/test_live.py``.
+    """
+
+    def __init__(self, addresses: list[tuple[str, int]],
+                 ring_range: int = 1 << 32) -> None:
+        if not addresses:
+            raise ValueError("need at least one server")
+        self.ring = ConsistentHashRing(ring_range=ring_range)
+        self.clients: dict[tuple[str, int], LiveCacheClient] = {}
+        r = ring_range
+        n = len(addresses)
+        for i, addr in enumerate(addresses):
+            client = LiveCacheClient(addr)
+            self.clients[addr] = client
+            self.ring.add_bucket((i + 1) * r // n - 1, addr)
+
+    def close(self) -> None:
+        """Close all server connections."""
+        for client in self.clients.values():
+            client.close()
+
+    def __enter__(self) -> "LiveClusterClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- routing
+
+    def client_for(self, key: int) -> LiveCacheClient:
+        """The server responsible for ``key`` under ``h(k)``."""
+        addr = self.ring.node_for_key(key)
+        return self.clients[addr]
+
+    def get(self, key: int) -> bytes | None:
+        """Routed fetch."""
+        return self.client_for(key).get(key)
+
+    def put(self, key: int, value: bytes) -> None:
+        """Routed store (accounting flows through the shared ring)."""
+        freed = self.client_for(key).put(key, value)
+        hkey = self.ring.hash_key(key)
+        if freed:
+            self.ring.record_delete(hkey, freed)
+        self.ring.record_insert(hkey, len(value))
+
+    def delete(self, key: int) -> bool:
+        """Routed delete."""
+        found, freed = self.client_for(key).delete(key)
+        if found:
+            self.ring.record_delete(self.ring.hash_key(key), freed)
+        return found
+
+    # -------------------------------------------------------------- growth
+
+    def add_server(self, address: tuple[str, int], bucket: int) -> int:
+        """Grow the cluster: new bucket + Algorithm 2 over the wire.
+
+        The records in the new bucket's interval are extracted from the
+        server that previously owned them and streamed to the new one.
+        Returns the number of records migrated.
+        """
+        if address in self.clients:
+            raise ValueError(f"server {address} already in the cluster")
+        old_owner_addr = self.ring.node_for_hkey(bucket)
+        new_client = LiveCacheClient(address)
+        self.clients[address] = new_client
+        self.ring.add_bucket(bucket, address)
+
+        lo, hi = self.ring.interval_segments(bucket)[-1]
+        src = self.clients[old_owner_addr]
+        moved_bytes = 0
+        records = src.extract(lo, hi)
+        for key, value in records:
+            new_client.put(key, value)
+            moved_bytes += len(value)
+        if records:
+            self.ring.transfer_load(
+                self.ring.bucket_for_hkey(hi + 1)
+                if hi + 1 < self.ring.ring_range else self.ring.buckets[0],
+                bucket, moved_bytes, len(records))
+        return len(records)
+
+    def remove_server(self, address: tuple[str, int]) -> int:
+        """Shrink the cluster: drain a server's records to the ring
+        successors of its buckets (the contraction counterpart of
+        :meth:`add_server`), drop its buckets, and disconnect.
+
+        Returns the number of records migrated.  The server process
+        itself is left running (ownerless) — stopping it is the
+        caller's job, mirroring instance termination.
+
+        Raises
+        ------
+        ValueError
+            If the address is unknown or it is the last server.
+        """
+        if address not in self.clients:
+            raise ValueError(f"server {address} not in the cluster")
+        if len(self.clients) == 1:
+            raise ValueError("cannot remove the last server")
+        victim = self.clients[address]
+
+        moved = 0
+        for bucket in list(self.ring.buckets_of(address)):
+            segments = self.ring.interval_segments(bucket)
+            records: list[tuple[int, bytes]] = []
+            for lo, hi in segments:
+                records.extend(victim.extract(lo, hi))
+            # Release the bucket's accounting, drop it (its interval folds
+            # into the ring successor), then reinsert through normal
+            # routing so each record is re-accounted at its new home.
+            for key, value in records:
+                self.ring.record_delete(self.ring.hash_key(key), len(value))
+            self.ring.remove_bucket(bucket)
+            for key, value in records:
+                self.put(key, value)
+                moved += 1
+        del self.clients[address]
+        victim.close()
+        return moved
+
+    def cluster_stats(self) -> dict:
+        """Aggregated per-server stats keyed by ``host:port``."""
+        return {
+            f"{addr[0]}:{addr[1]}": client.stats()
+            for addr, client in self.clients.items()
+        }

@@ -1,0 +1,142 @@
+"""A live coordinator: the full query loop over the TCP cluster.
+
+This is the real-network analogue of :class:`repro.core.coordinator.Coordinator`:
+route the key through the cluster's consistent-hash ring, serve hits from
+the wire, compute misses with a real service, cache the derived bytes —
+and when a server reports **overflow**, grow the cluster with a live
+Algorithm-2 split (boot a fresh server, split the overflowing bucket at
+its interval midpoint, migrate the lower half over TCP).
+
+A sliding window (the same
+:class:`~repro.core.sliding_window.SlidingWindowEvictor`) drives eviction
+over the wire at slice boundaries, so the elastic *and* contracting
+behaviour of the paper runs against real sockets end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.config import EvictionConfig
+from repro.core.sliding_window import SlidingWindowEvictor
+from repro.live.client import LiveClusterClient
+from repro.live.protocol import ProtocolError
+from repro.live.server import LiveCacheServer
+
+
+@dataclass
+class LiveQueryStats:
+    """Counters for one live session."""
+
+    queries: int = 0
+    hits: int = 0
+    misses: int = 0
+    evicted: int = 0
+    grown_servers: int = 0
+    migrated_records: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries served from the cluster."""
+        return self.hits / self.queries if self.queries else 0.0
+
+
+class LiveCoordinator:
+    """Query front-end over a :class:`LiveClusterClient`.
+
+    Parameters
+    ----------
+    cluster:
+        The routed cluster client.
+    compute:
+        ``key -> bytes``: the derived-data computation run on misses
+        (e.g. ``lambda k: service.compute(k)[0]``).
+    spawn_server:
+        Zero-arg factory booting a fresh :class:`LiveCacheServer` when an
+        overflow demands growth.  ``None`` disables elasticity (overflows
+        then raise).
+    eviction:
+        Optional sliding-window config; slices are closed by
+        :meth:`end_slice`.
+    """
+
+    def __init__(
+        self,
+        cluster: LiveClusterClient,
+        compute: Callable[[int], bytes],
+        spawn_server: Callable[[], LiveCacheServer] | None = None,
+        eviction: EvictionConfig | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.compute = compute
+        self.spawn_server = spawn_server
+        self.evictor = (SlidingWindowEvictor(eviction)
+                        if eviction is not None and eviction.enabled else None)
+        self.stats = LiveQueryStats()
+        self.spawned: list[LiveCacheServer] = []
+
+    # ------------------------------------------------------------- queries
+
+    def query(self, key: int) -> bytes:
+        """Serve one request, computing and caching on miss."""
+        self.stats.queries += 1
+        if self.evictor is not None:
+            self.evictor.record(key)
+        cached = self.cluster.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        value = self.compute(key)
+        self._put_with_growth(key, value)
+        return value
+
+    def _put_with_growth(self, key: int, value: bytes, max_growths: int = 4) -> None:
+        for _ in range(max_growths):
+            try:
+                self.cluster.put(key, value)
+                return
+            except ProtocolError as exc:
+                if "overflow" not in str(exc) or self.spawn_server is None:
+                    raise
+            # Midpoint splits halve the interval, not necessarily the
+            # bytes, so a skewed interval may need more than one growth.
+            self._grow_for(key)
+        self.cluster.put(key, value)
+
+    def _grow_for(self, key: int) -> None:
+        """Live Algorithm 2: split the overflowing bucket's interval."""
+        hkey = self.cluster.ring.hash_key(key)
+        bucket = self.cluster.ring.bucket_for_hkey(hkey)
+        lo, hi = self.cluster.ring.interval_segments(bucket)[-1]
+        split = (lo + hi) // 2
+        if split == hi or split in self.cluster.ring.node_map:
+            raise ProtocolError(f"bucket {bucket} too narrow to split")
+        server = self.spawn_server()
+        self.spawned.append(server)
+        moved = self.cluster.add_server(server.address, split)
+        self.stats.grown_servers += 1
+        self.stats.migrated_records += moved
+
+    # -------------------------------------------------------------- slices
+
+    def end_slice(self) -> int:
+        """Close a time slice; evict scored-out keys over the wire."""
+        if self.evictor is None:
+            return 0
+        batch = self.evictor.end_slice()
+        removed = 0
+        for key in batch.evicted_keys:
+            if self.cluster.delete(key):
+                removed += 1
+        self.stats.evicted += removed
+        return removed
+
+    # ------------------------------------------------------------ teardown
+
+    def stop_spawned(self) -> None:
+        """Shut down servers this coordinator booted."""
+        for server in self.spawned:
+            server.stop()
+        self.spawned.clear()

@@ -1,0 +1,83 @@
+"""Wire protocol for the live cache cluster.
+
+Frames are ``[4-byte big-endian header length][JSON header][binary body]``
+where the header's ``"body"`` field declares the body length (0 for
+body-less messages).  JSON keeps the protocol debuggable with ``nc``;
+values travel as opaque bytes in the body, so cached payloads are never
+round-tripped through text encodings.
+
+Requests
+--------
+``{"op": "get",    "key": int}``
+``{"op": "put",    "key": int, "body": len}``          + value bytes
+``{"op": "delete", "key": int}``
+``{"op": "sweep",  "lo": int, "hi": int}``             → streamed records
+``{"op": "extract","lo": int, "hi": int}``             → records, removed
+``{"op": "stats"}``
+``{"op": "ping"}``
+
+Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": str}``.
+Sweep/extract respond with ``{"ok": true, "count": n}`` followed by ``n``
+record frames ``{"key": k, "body": len}`` + value bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+_HEADER = struct.Struct(">I")
+MAX_HEADER_BYTES = 1 << 20
+MAX_BODY_BYTES = 1 << 26
+
+
+class ProtocolError(RuntimeError):
+    """Raised on malformed frames or transport failures."""
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`ProtocolError`."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, header: dict, body: bytes = b"") -> None:
+    """Serialize and send one frame."""
+    if body:
+        header = {**header, "body": len(body)}
+    raw = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(raw) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header too large ({len(raw)} B)")
+    sock.sendall(_HEADER.pack(len(raw)) + raw + body)
+
+
+def recv_frame(sock: socket.socket) -> tuple[dict, bytes]:
+    """Receive one frame → ``(header, body)``.
+
+    Raises
+    ------
+    ProtocolError
+        On truncated frames, oversized declarations, or invalid JSON.
+    """
+    (header_len,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"declared header of {header_len} B exceeds limit")
+    try:
+        header = json.loads(_recv_exact(sock, header_len))
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid header JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("header must be a JSON object")
+    body_len = int(header.get("body", 0))
+    if body_len < 0 or body_len > MAX_BODY_BYTES:
+        raise ProtocolError(f"declared body of {body_len} B out of range")
+    body = _recv_exact(sock, body_len) if body_len else b""
+    return header, body

@@ -1,0 +1,197 @@
+"""The live cache server: a threaded TCP node holding one cache slice.
+
+One server ≡ one of the paper's EC2 cache nodes: a capacity-bounded,
+B+-tree-indexed in-memory store ("in our implementation, the cache server
+is automatically fetched from a remote location on the startup of a new
+Cloud instance" — here it is a Python object you start on a port).
+
+Concurrency: a ``ThreadingTCPServer`` accepts many clients; store access
+is serialized by one lock (the store operations are microseconds, so the
+lock is not the bottleneck at localhost scale; a production port would
+shard it).
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from repro.btree.bplustree import BPlusTree
+from repro.btree.sweep import collect_range
+from repro.live.protocol import ProtocolError, recv_frame, send_frame
+
+
+class _Store:
+    """The node-local state: tree + byte accounting, lock-protected."""
+
+    def __init__(self, capacity_bytes: int, order: int) -> None:
+        self.tree = BPlusTree(order=order)
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self.lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One connection; serves frames until the peer disconnects."""
+
+    def setup(self) -> None:  # noqa: D102 - socketserver hook
+        self.server.connections.add(self.request)  # type: ignore[attr-defined]
+
+    def finish(self) -> None:  # noqa: D102 - socketserver hook
+        self.server.connections.discard(self.request)  # type: ignore[attr-defined]
+
+    def handle(self) -> None:  # noqa: D102 - socketserver hook
+        store: _Store = self.server.store  # type: ignore[attr-defined]
+        while True:
+            try:
+                header, body = recv_frame(self.request)
+            except ProtocolError:
+                return  # disconnect (or garbage) ends the session
+            try:
+                self._dispatch(store, header, body)
+            except ProtocolError:
+                return
+            except Exception as exc:  # report, keep serving
+                send_frame(self.request, {"ok": False, "error": str(exc)})
+
+    def _dispatch(self, store: _Store, header: dict, body: bytes) -> None:
+        op = header.get("op")
+        sock = self.request
+        if op == "ping":
+            send_frame(sock, {"ok": True, "pong": True})
+        elif op == "get":
+            key = int(header["key"])
+            with store.lock:
+                value = store.tree.search(key)
+                if value is None:
+                    store.misses += 1
+                else:
+                    store.hits += 1
+            if value is None:
+                send_frame(sock, {"ok": True, "found": False})
+            else:
+                send_frame(sock, {"ok": True, "found": True}, body=value)
+        elif op == "put":
+            key = int(header["key"])
+            with store.lock:
+                old = store.tree.search(key)
+                freed = len(old) if old is not None else 0
+                if store.used_bytes - freed + len(body) > store.capacity_bytes:
+                    send_frame(sock, {"ok": False, "error": "overflow",
+                                      "free": store.capacity_bytes
+                                      - store.used_bytes + freed})
+                    return
+                store.tree.insert(key, body)
+                store.used_bytes += len(body) - freed
+            send_frame(sock, {"ok": True, "freed": freed})
+        elif op == "delete":
+            key = int(header["key"])
+            freed = 0
+            with store.lock:
+                try:
+                    value = store.tree.delete(key)
+                    freed = len(value)
+                    store.used_bytes -= freed
+                    found = True
+                except KeyError:
+                    found = False
+            send_frame(sock, {"ok": True, "found": found, "freed": freed})
+        elif op in ("sweep", "extract"):
+            lo, hi = int(header["lo"]), int(header["hi"])
+            with store.lock:
+                records = collect_range(store.tree, lo, hi)
+                if op == "extract":
+                    for key, value in records:
+                        store.tree.delete(key)
+                        store.used_bytes -= len(value)
+            send_frame(sock, {"ok": True, "count": len(records)})
+            for key, value in records:
+                send_frame(sock, {"key": key}, body=value)
+        elif op == "stats":
+            with store.lock:
+                send_frame(sock, {
+                    "ok": True,
+                    "records": len(store.tree),
+                    "used_bytes": store.used_bytes,
+                    "capacity_bytes": store.capacity_bytes,
+                    "hits": store.hits,
+                    "misses": store.misses,
+                })
+        else:
+            send_frame(sock, {"ok": False, "error": f"unknown op {op!r}"})
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: live client sockets, force-closed on shutdown so a stopped
+        #: server actually severs its sessions (clients then reconnect).
+        self.connections: set = set()
+
+    def handle_error(self, request, client_address) -> None:
+        """Quietly drop connection-level errors (resets, severed
+        sessions at shutdown); anything else keeps the default dump."""
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, OSError)):
+            return
+        super().handle_error(request, client_address)
+
+
+class LiveCacheServer:
+    """A runnable cache node.
+
+    Examples
+    --------
+    >>> server = LiveCacheServer(capacity_bytes=1 << 20).start()
+    >>> server.address[0]
+    '127.0.0.1'
+    >>> server.stop()
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 capacity_bytes: int = 1 << 28, order: int = 64) -> None:
+        self.store = _Store(capacity_bytes, order)
+        self._server = _TCPServer((host, port), _Handler)
+        self._server.store = self.store  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved after construction)."""
+        return self._server.server_address  # type: ignore[return-value]
+
+    def start(self) -> "LiveCacheServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name=f"cache-server-{self.address[1]}",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down, sever live sessions, and join the serving thread."""
+        self._server.shutdown()
+        for conn in list(self._server.connections):
+            try:
+                conn.shutdown(2)  # SHUT_RDWR: unblocks handler recv()
+            except OSError:
+                pass
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "LiveCacheServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

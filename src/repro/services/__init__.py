@@ -1,0 +1,47 @@
+"""Service-oriented computation substrate.
+
+The paper's representative workload is a real **Shoreline Extraction**
+service (Sec. IV-A): given a location and time of interest it (1) retrieves
+the Coastal Terrain Model (CTM) for the area, (2) retrieves the water level
+at that time, and (3) interpolates the coastline, returning a <1 kB derived
+result after ~23 seconds of work.
+
+We cannot have the proprietary CTM files or the live water-level gauges, so
+this package builds the closest synthetic equivalent (DESIGN.md Sec. 2):
+
+* :mod:`repro.services.ctm` — deterministic spectral terrain synthesis,
+  seeded per location, standing in for the CTM archive.
+* :mod:`repro.services.waterlevel` — a harmonic tidal model (M2/S2/K1/O1
+  constituents), standing in for gauge readings.
+* :mod:`repro.services.shoreline` — marching-squares contour extraction of
+  the waterline: a *real* computation whose output is deterministic per
+  key, exactly the observable signature the cache depends on.
+* :mod:`repro.services.base` — the service abstraction and registry,
+  including :class:`~repro.services.base.SyntheticService` for full-scale
+  benchmark runs where the payload computation itself is irrelevant.
+* :mod:`repro.services.composite` — service composition (mashups), the
+  paper's motivating usage pattern.
+"""
+
+from repro.services.base import Service, ServiceRegistry, ServiceResult, SyntheticService
+from repro.services.catalog import CatalogMiss, CTMCatalog, TileDescriptor
+from repro.services.composite import CompositeService
+from repro.services.ctm import CoastalTerrainModel
+from repro.services.floodmap import FloodMapService
+from repro.services.shoreline import ShorelineExtractionService
+from repro.services.waterlevel import WaterLevelModel
+
+__all__ = [
+    "Service",
+    "ServiceResult",
+    "ServiceRegistry",
+    "SyntheticService",
+    "CoastalTerrainModel",
+    "WaterLevelModel",
+    "ShorelineExtractionService",
+    "FloodMapService",
+    "CompositeService",
+    "CTMCatalog",
+    "TileDescriptor",
+    "CatalogMiss",
+]

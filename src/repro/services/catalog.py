@@ -1,0 +1,116 @@
+"""The CTM data catalog — spatiotemporal metadata indexing.
+
+"This service first retrieves a local copy of the Coastal Terrain Model
+(CTM) file with respect to (L, T).  To enable this search, each file has
+been indexed via their spatiotemporal metadata." (Sec. IV-A)
+
+:class:`CTMCatalog` is that index, dogfooding the repository's own
+B²-tree: tile descriptors are keyed by space-filling-curve linearized
+``(x, y, epoch)``, so nearest/region lookups are leaf-range sweeps.  The
+shoreline service can resolve its input through the catalog exactly as
+the real system resolved CTM files, including the *temporal epoch* match
+(coastal surveys are re-flown; a query's time of interest selects the
+newest survey at or before it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.btree.sweep import sweep_range
+from repro.sfc.btwo import BSquareTree, Linearizer
+
+
+@dataclass(frozen=True)
+class TileDescriptor:
+    """Metadata for one archived CTM survey tile."""
+
+    x: int
+    y: int
+    epoch: int  #: survey time index (coarser than query time)
+    resolution_m: float = 10.0
+    source: str = "synthetic"
+
+
+class CatalogMiss(LookupError):
+    """No archived survey covers the requested location/time."""
+
+
+class CTMCatalog:
+    """A spatiotemporal index of archived terrain surveys.
+
+    Parameters
+    ----------
+    linearizer:
+        Key codec; the *t* axis carries the survey epoch.
+
+    Examples
+    --------
+    >>> cat = CTMCatalog()
+    >>> cat.register(TileDescriptor(x=3, y=4, epoch=2))
+    >>> cat.resolve(3, 4, t=9).epoch   # newest survey at or before t
+    2
+    >>> cat.resolve(3, 4, t=1)
+    Traceback (most recent call last):
+        ...
+    repro.services.catalog.CatalogMiss: no survey for (3, 4) at or before t=1
+    """
+
+    def __init__(self, linearizer: Linearizer | None = None) -> None:
+        self.linearizer = linearizer or Linearizer(nbits=10)
+        self.index = BSquareTree(self.linearizer)
+        #: per-location sorted epochs for the temporal match
+        self._epochs: dict[tuple[int, int], list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def register(self, tile: TileDescriptor) -> None:
+        """Add one survey tile to the archive index."""
+        self.index.insert((tile.x, tile.y, tile.epoch), tile)
+        epochs = self._epochs.setdefault((tile.x, tile.y), [])
+        if tile.epoch not in epochs:
+            epochs.append(tile.epoch)
+            epochs.sort()
+
+    def register_grid(self, nx: int, ny: int, epochs: tuple[int, ...] = (0,),
+                      **tile_kwargs) -> int:
+        """Bulk-register a full survey grid; returns tiles added."""
+        count = 0
+        for x in range(nx):
+            for y in range(ny):
+                for epoch in epochs:
+                    self.register(TileDescriptor(x=x, y=y, epoch=epoch,
+                                                 **tile_kwargs))
+                    count += 1
+        return count
+
+    def resolve(self, x: int, y: int, t: int) -> TileDescriptor:
+        """The newest survey at ``(x, y)`` with ``epoch <= t``.
+
+        Raises
+        ------
+        CatalogMiss
+            If the location was never surveyed, or only after ``t``.
+        """
+        epochs = self._epochs.get((x, y))
+        if epochs:
+            candidates = [e for e in epochs if e <= t]
+            if candidates:
+                tile = self.index.search((x, y, candidates[-1]))
+                assert tile is not None
+                return tile
+        raise CatalogMiss(f"no survey for ({x}, {y}) at or before t={t}")
+
+    def region(self, key_lo: int, key_hi: int) -> list[TileDescriptor]:
+        """All tiles whose linearized key falls in ``[key_lo, key_hi]`` —
+        one contiguous leaf sweep, the B²-tree's raison d'être."""
+        return [tile for _, tile in sweep_range(self.index.tree, key_lo, key_hi)]
+
+    def coverage(self) -> dict:
+        """Archive summary."""
+        return {
+            "tiles": len(self.index),
+            "locations": len(self._epochs),
+            "epochs": sorted({e for eps in self._epochs.values() for e in eps}),
+        }

@@ -1,0 +1,87 @@
+"""Service composition — mashups over cached building blocks.
+
+Sec. I motivates the cache with composite services: "services ... can be
+strung together like building-blocks to generate larger, more meaningful
+applications in processes known as service composition, mashups, and
+service workflows" (the Haiti-earthquake map mashup is the running
+example).  A :class:`CompositeService` invokes a set of member services and
+combines their results; when fronted by the cooperative cache each member
+result is individually reusable, which is exactly how the cache "composes
+derived results directly into workflow plans".
+
+For full DAG-structured composition (Auspice-style), see
+:mod:`repro.workflow`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.services.base import Service, ServiceResult
+from repro.sim.clock import SimClock
+
+
+class CompositeService(Service):
+    """A service whose result combines several member-service results.
+
+    Parameters
+    ----------
+    members:
+        The component services, invoked in order.
+    key_fan:
+        Maps the composite's input key to one key per member (e.g. the
+        four map-tile quadrants around a point of interest).  Defaults to
+        passing the same key to every member.
+    combine:
+        Reduces the member payloads to the composite payload; defaults to
+        a tuple.
+    overhead_s:
+        Orchestration time on top of the members' own execution times.
+
+    Notes
+    -----
+    ``execute`` runs members *directly* (uncached).  To exploit caching of
+    member results, drive the members through a
+    :class:`~repro.core.coordinator.Coordinator` instead — see
+    ``examples/composite_mashup.py``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        members: Sequence[Service],
+        key_fan: Callable[[int], Sequence[int]] | None = None,
+        combine: Callable[[Sequence[object]], object] | None = None,
+        overhead_s: float = 1.0,
+    ) -> None:
+        if not members:
+            raise ValueError("composite requires at least one member service")
+        super().__init__(name, clock, service_time_s=overhead_s)
+        self.members = list(members)
+        self.key_fan = key_fan or (lambda key: [key] * len(self.members))
+        self.combine = combine or (lambda payloads: tuple(payloads))
+        self.overhead_s = overhead_s
+
+    def member_keys(self, key: int) -> list[int]:
+        """The member-service keys this composite key fans out to."""
+        keys = list(self.key_fan(key))
+        if len(keys) != len(self.members):
+            raise ValueError(
+                f"key_fan produced {len(keys)} keys for {len(self.members)} members"
+            )
+        return keys
+
+    def compute(self, key: int) -> tuple[object, int]:
+        """Fan out to members, combine, and size the composite payload."""
+        payloads = []
+        total_bytes = 0
+        for member, sub_key in zip(self.members, self.member_keys(key)):
+            result: ServiceResult = member.execute(sub_key)
+            payloads.append(result.payload)
+            total_bytes += result.nbytes
+        return self.combine(payloads), total_bytes
+
+    def execution_time(self, key: int) -> float:
+        """Only the orchestration overhead; members charge themselves."""
+        return self.overhead_s

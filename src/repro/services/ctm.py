@@ -1,0 +1,98 @@
+"""Coastal Terrain Model synthesis.
+
+The paper's service "first retrieves a local copy of the Coastal Terrain
+Model (CTM) file ... CTMs contain a large matrix of a coastal area where
+each point denotes a depth/elevation reading."  The real CTM archive (Ohio
+State, Lake Erie shoreline) is proprietary; we synthesize terrain with the
+standard spectral method — filter white noise with a power-law spectrum
+``|F|² ∝ f^{-β}`` (β≈3 gives realistic fractal coastal relief) — then tilt
+it toward a shoreline gradient so every tile contains a land/water
+transition for the contour step to find.
+
+Determinism: each tile is seeded by its grid location, so repeated requests
+for the same ``(x, y)`` return bit-identical terrain — the redundancy the
+cache exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CTMTile:
+    """One synthesized terrain tile."""
+
+    x: int
+    y: int
+    elevation: np.ndarray  #: (grid, grid) float64, meters above datum
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory size of the elevation matrix."""
+        return int(self.elevation.nbytes)
+
+
+class CoastalTerrainModel:
+    """Deterministic synthetic CTM archive.
+
+    Parameters
+    ----------
+    grid:
+        Tile resolution (``grid × grid`` samples).  32 is plenty for the
+        contour extraction to be a real computation at simulation scale;
+        the paper's CTMs were much larger, but only the *derived* result's
+        size matters to the cache.
+    relief_m:
+        Peak-to-peak vertical relief of the fractal component.
+    beta:
+        Spectral slope; larger → smoother terrain.
+    seed:
+        Archive-level salt so different experiments can use disjoint
+        "coastlines".
+
+    Examples
+    --------
+    >>> ctm = CoastalTerrainModel(grid=16)
+    >>> a = ctm.tile(3, 5)
+    >>> b = ctm.tile(3, 5)
+    >>> bool((a.elevation == b.elevation).all())
+    True
+    """
+
+    def __init__(self, grid: int = 32, relief_m: float = 4.0,
+                 beta: float = 3.0, seed: int = 0) -> None:
+        if grid < 4:
+            raise ValueError("grid must be >= 4")
+        self.grid = grid
+        self.relief_m = relief_m
+        self.beta = beta
+        self.seed = seed
+        # Radial frequency grid for the spectral filter, built once.
+        fy = np.fft.fftfreq(grid)[:, None]
+        fx = np.fft.rfftfreq(grid)[None, :]
+        f = np.hypot(fy, fx)
+        f[0, 0] = 1.0  # avoid div-by-zero at DC; DC amplitude zeroed below
+        self._filter = f ** (-beta / 2.0)
+        self._filter[0, 0] = 0.0
+
+    def tile(self, x: int, y: int) -> CTMTile:
+        """Synthesize (deterministically) the tile at grid location (x, y)."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed, spawn_key=(int(x), int(y)))
+        )
+        noise = rng.standard_normal((self.grid, self.grid))
+        spectrum = np.fft.rfft2(noise) * self._filter
+        rough = np.fft.irfft2(spectrum, s=(self.grid, self.grid))
+        span = rough.max() - rough.min()
+        if span > 0:
+            rough = (rough - rough.min()) / span  # [0, 1]
+        # Tilt from water (south edge, below datum) to land (north edge):
+        # guarantees a shoreline crossing inside the tile for any plausible
+        # water level.
+        gradient = np.linspace(-0.5 * self.relief_m, 0.5 * self.relief_m,
+                               self.grid)[:, None]
+        elevation = gradient + (rough - 0.5) * 0.6 * self.relief_m
+        return CTMTile(x=int(x), y=int(y), elevation=elevation)

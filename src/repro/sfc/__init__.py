@@ -1,0 +1,28 @@
+"""Space-filling-curve linearization — the B²-tree key machinery.
+
+The paper indexes spatiotemporal service inputs with B²-trees [26]: B+-trees
+whose one-dimensional keys are "a linearization of time and location using
+space-filling curves".  This package provides:
+
+* :mod:`repro.sfc.zorder` — Morton (Z-order) encode/decode, 2-D and 3-D,
+  numpy-vectorized.
+* :mod:`repro.sfc.hilbert` — Hilbert curve encode/decode (Skilling's
+  transpose algorithm), numpy-vectorized.
+* :class:`repro.sfc.btwo.BSquareTree` — a B+-tree keyed by linearized
+  ``(x, y, t)`` triples.
+"""
+
+from repro.sfc.btwo import BSquareTree, Linearizer
+from repro.sfc.hilbert import hilbert_decode, hilbert_encode
+from repro.sfc.zorder import morton_decode2, morton_decode3, morton_encode2, morton_encode3
+
+__all__ = [
+    "morton_encode2",
+    "morton_decode2",
+    "morton_encode3",
+    "morton_decode3",
+    "hilbert_encode",
+    "hilbert_decode",
+    "Linearizer",
+    "BSquareTree",
+]

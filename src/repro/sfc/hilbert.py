@@ -1,0 +1,165 @@
+"""Hilbert curve encode/decode (Skilling's transpose algorithm), vectorized.
+
+The Hilbert curve has strictly better locality than Z-order (no long "seam"
+jumps), which improves the B²-tree property that spatially clustered queries
+hit contiguous key ranges.  The paper's B²-tree reference [26] permits any
+space-filling curve; we provide both and let
+:class:`~repro.sfc.btwo.Linearizer` choose.
+
+Implementation: John Skilling, "Programming the Hilbert curve", AIP 2004 —
+the AxesToTranspose / TransposeToAxes pair — lifted to numpy ``uint64``
+arrays so whole workloads encode in one call.  Supports 2-D (≤32 bits/axis)
+and 3-D (≤21 bits/axis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sfc.zorder import _compact1by1, _compact1by2, _part1by1, _part1by2
+
+_U64 = np.uint64
+
+
+def _axes_to_transpose(X: np.ndarray, nbits: int) -> np.ndarray:
+    """In-place Skilling forward transform. ``X`` has shape ``(ndims, ...)``."""
+    n = X.shape[0]
+    M = _U64(1) << _U64(nbits - 1)
+
+    # Inverse undo excess work
+    Q = M
+    while Q > _U64(1):
+        P = Q - _U64(1)
+        for i in range(n):
+            cond = (X[i] & Q) != 0
+            # invert low bits of X[0] where the Q bit of X[i] is set
+            X[0] = np.where(cond, X[0] ^ P, X[0])
+            # exchange low bits of X[0] and X[i] elsewhere
+            t = np.where(cond, _U64(0), (X[0] ^ X[i]) & P)
+            X[0] ^= t
+            X[i] ^= t
+        Q >>= _U64(1)
+
+    # Gray encode
+    for i in range(1, n):
+        X[i] ^= X[i - 1]
+    t = np.zeros_like(X[0])
+    Q = M
+    while Q > _U64(1):
+        t = np.where((X[n - 1] & Q) != 0, t ^ (Q - _U64(1)), t)
+        Q >>= _U64(1)
+    for i in range(n):
+        X[i] ^= t
+    return X
+
+
+def _transpose_to_axes(X: np.ndarray, nbits: int) -> np.ndarray:
+    """In-place Skilling inverse transform. ``X`` has shape ``(ndims, ...)``."""
+    n = X.shape[0]
+    M = _U64(1) << _U64(nbits - 1)
+
+    # Gray decode by H ^ (H/2)
+    t = X[n - 1] >> _U64(1)
+    for i in range(n - 1, 0, -1):
+        X[i] ^= X[i - 1]
+    X[0] ^= t
+
+    # Undo excess work
+    Q = _U64(2)
+    end = M << _U64(1)
+    while Q != end:
+        P = Q - _U64(1)
+        for i in range(n - 1, -1, -1):
+            cond = (X[i] & Q) != 0
+            X[0] = np.where(cond, X[0] ^ P, X[0])
+            t = np.where(cond, _U64(0), (X[0] ^ X[i]) & P)
+            X[0] ^= t
+            X[i] ^= t
+        Q <<= _U64(1)
+    return X
+
+
+def _gather_transpose(X: np.ndarray) -> np.ndarray:
+    """Interleave transpose words into the Hilbert index.
+
+    In transpose format, bit ``q`` of ``X[i]`` is bit ``q*n + (n-1-i)`` of
+    the index — exactly a Morton interleave with dimension order reversed.
+    """
+    n = X.shape[0]
+    if n == 2:
+        return _part1by1(X[1]) | (_part1by1(X[0]) << _U64(1))
+    if n == 3:
+        return _part1by2(X[2]) | (_part1by2(X[1]) << _U64(1)) | (_part1by2(X[0]) << _U64(2))
+    raise ValueError(f"unsupported dimension {n}")
+
+
+def _scatter_transpose(h: np.ndarray, ndims: int) -> np.ndarray:
+    """Inverse of :func:`_gather_transpose`."""
+    if ndims == 2:
+        return np.stack([_compact1by1(h >> _U64(1)), _compact1by1(h)])
+    if ndims == 3:
+        return np.stack(
+            [_compact1by2(h >> _U64(2)), _compact1by2(h >> _U64(1)), _compact1by2(h)]
+        )
+    raise ValueError(f"unsupported dimension {ndims}")
+
+
+def hilbert_encode(coords, nbits: int) -> np.ndarray:
+    """Map coordinates to Hilbert-curve indices.
+
+    Parameters
+    ----------
+    coords:
+        Array-like of shape ``(..., ndims)`` with ``ndims`` in {2, 3};
+        non-negative integers below ``2**nbits``.
+    nbits:
+        Bits of precision per axis (≤32 for 2-D, ≤21 for 3-D).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` Hilbert indices of shape ``coords.shape[:-1]``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> h = hilbert_encode(np.array([[0, 0], [1, 1], [0, 1]]), nbits=4)
+    >>> back = hilbert_decode(h, nbits=4, ndims=2)
+    >>> bool((back == [[0, 0], [1, 1], [0, 1]]).all())
+    True
+    """
+    arr = np.asarray(coords, dtype=np.uint64)
+    if arr.ndim == 0 or arr.shape[-1] not in (2, 3):
+        raise ValueError("coords must have trailing dimension 2 or 3")
+    ndims = arr.shape[-1]
+    _check_bits(nbits, ndims)
+    if (arr >> _U64(nbits)).any():
+        raise ValueError(f"coordinate exceeds {nbits} bits")
+    X = np.ascontiguousarray(np.moveaxis(arr, -1, 0)).copy()
+    _axes_to_transpose(X, nbits)
+    return _gather_transpose(X)
+
+
+def hilbert_decode(h, nbits: int, ndims: int) -> np.ndarray:
+    """Invert :func:`hilbert_encode`.
+
+    Returns coordinates of shape ``h.shape + (ndims,)``.
+    """
+    _check_bits(nbits, ndims)
+    harr = np.asarray(h, dtype=np.uint64)
+    X = _scatter_transpose(harr, ndims)
+    # Transpose words only carry nbits bits each; mask stray high bits that
+    # the Morton compact may have gathered from beyond ndims*nbits.
+    mask = (_U64(1) << _U64(nbits)) - _U64(1)
+    X &= mask
+    _transpose_to_axes(X, nbits)
+    return np.moveaxis(X, 0, -1)
+
+
+def _check_bits(nbits: int, ndims: int) -> None:
+    if ndims == 2 and not 1 <= nbits <= 32:
+        raise ValueError("2-D Hilbert supports 1..32 bits per axis")
+    if ndims == 3 and not 1 <= nbits <= 21:
+        raise ValueError("3-D Hilbert supports 1..21 bits per axis")
+    if ndims not in (2, 3):
+        raise ValueError(f"unsupported dimension {ndims}")

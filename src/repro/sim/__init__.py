@@ -1,0 +1,13 @@
+"""Simulation kernel: virtual time, discrete events, reproducible randomness.
+
+Everything in :mod:`repro` that "takes time" — service execution, node
+allocation, network transfer — advances a :class:`SimClock` rather than the
+wall clock, so full experiments (millions of simulated seconds) run in
+milliseconds of real time and are perfectly reproducible.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngStreams
+
+__all__ = ["SimClock", "Event", "EventQueue", "RngStreams"]

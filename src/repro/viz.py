@@ -1,0 +1,152 @@
+"""Terminal plotting — dependency-free ASCII charts for figure series.
+
+The CLI and examples render the paper's curves directly in the terminal:
+line charts with y-axis labels and optional log scale (Fig. 3 is a log₁₀
+plot), multi-series overlays with per-series glyphs, and bar strips for
+node-allocation traces.  Nothing here is load-bearing for the science —
+it exists so ``python -m repro figures`` shows *figures*.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def line_chart(series: dict[str, Sequence[float]], *, width: int = 72,
+               height: int = 16, log_y: bool = False,
+               title: str | None = None, y_label: str = "") -> str:
+    """Render one or more series as an ASCII line chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of legend label → y-values.  Series are resampled onto
+        ``width`` columns (nearest sample), so any length plots.
+    log_y:
+        Plot log₁₀(y) (values ≤ 0 are clipped to the smallest positive
+        sample), as the paper's Fig. 3 does.
+
+    Examples
+    --------
+    >>> chart = line_chart({"a": [1, 2, 3, 2, 1]}, width=20, height=5)
+    >>> "a" in chart and "o" in chart
+    True
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    cleaned: dict[str, np.ndarray] = {}
+    for name, ys in series.items():
+        arr = np.asarray(list(ys), dtype=float)
+        if arr.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+        cleaned[name] = arr
+
+    all_values = np.concatenate(list(cleaned.values()))
+    if log_y:
+        positive = all_values[all_values > 0]
+        floor = positive.min() if positive.size else 1.0
+        transform = lambda a: np.log10(np.clip(a, floor, None))  # noqa: E731
+        all_t = transform(all_values)
+    else:
+        transform = lambda a: a  # noqa: E731
+        all_t = all_values
+
+    lo, hi = float(all_t.min()), float(all_t.max())
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(cleaned.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        t = transform(ys)
+        cols = np.linspace(0, len(t) - 1, width).round().astype(int)
+        for col, sample_idx in enumerate(cols):
+            frac = (float(t[sample_idx]) - lo) / (hi - lo)
+            row = height - 1 - int(round(frac * (height - 1)))
+            grid[row][col] = glyph
+
+    def axis_value(row: int) -> float:
+        frac = (height - 1 - row) / (height - 1)
+        value = lo + frac * (hi - lo)
+        return 10 ** value if log_y else value
+
+    label_width = max(len(_format_tick(axis_value(r)))
+                      for r in (0, height // 2, height - 1))
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        if row in (0, height // 2, height - 1):
+            label = _format_tick(axis_value(row)).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(grid[row])}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    legend = "   ".join(f"{_GLYPHS[i % len(_GLYPHS)]}={name}"
+                        for i, name in enumerate(cleaned))
+    suffix = " (log y)" if log_y else ""
+    lines.append(f"{' ' * label_width}  {legend}{suffix}"
+                 + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)
+
+
+def bar_strip(values: Sequence[float], *, width: int = 72,
+              title: str | None = None) -> str:
+    """A one-line-per-bucket horizontal bar strip (node counts etc.).
+
+    Values are bucketed onto ``width`` columns by mean, then printed as a
+    two-row density strip: full blocks for the max, dots near zero.
+
+    Examples
+    --------
+    >>> bar_strip([1, 1, 4, 4, 2, 1], width=6)
+    '|::##=:|  (peak 4.0)'
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty series")
+    cols = np.array_split(arr, min(width, arr.size))
+    means = np.array([c.mean() for c in cols])
+    peak = means.max() if means.max() > 0 else 1.0
+    ramp = " .:-=+*#"
+    row = "".join(ramp[int(round(m / peak * (len(ramp) - 1)))] for m in means)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"|{row}|  (peak {peak:.1f})")
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], *, bins: int = 10, width: int = 40,
+              title: str | None = None) -> str:
+    """A vertical-bar ASCII histogram (reuse distances, gaps, ...).
+
+    Examples
+    --------
+    >>> out = histogram([1, 1, 2, 5, 5, 5], bins=5)
+    >>> out.count("\\n") >= 4
+    True
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty series")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() if counts.max() else 1
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{_format_tick(lo):>8}, {_format_tick(hi):>8}) "
+                     f"{bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Dependency-free SVG figure rendering.
+
+The ASCII charts (:mod:`repro.viz`) serve the terminal; this module
+writes real, publication-style SVG line charts — axes, ticks, legend,
+optional log scale — using nothing but string assembly, so the repository
+can regenerate its figures as image files with zero plotting
+dependencies (``python -m repro export --svg``).
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+#: A color-blind-safe categorical palette (Okabe-Ito).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7",
+           "#E69F00", "#56B4E9", "#F0E442", "#000000")
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 16, 34, 46
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(1, n - 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 0.501:
+        if t >= lo - step * 0.501:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.01:
+        return f"{value:.0e}"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:g}"
+
+
+def svg_line_chart(series: dict[str, Sequence[float]], *,
+                   title: str = "", x_label: str = "step",
+                   y_label: str = "", log_y: bool = False,
+                   width: int = 640, height: int = 360,
+                   x_values: Sequence[float] | None = None) -> str:
+    """Render series as an SVG document string.
+
+    Parameters
+    ----------
+    series:
+        legend label → y-values (all series share the x axis).
+    x_values:
+        Optional shared x coordinates; defaults to the sample index.
+    log_y:
+        Log₁₀ y-axis (the paper's Fig. 3 style); non-positive samples
+        are clipped to the smallest positive value.
+
+    Examples
+    --------
+    >>> doc = svg_line_chart({"a": [1, 2, 3]}, title="t")
+    >>> doc.startswith("<svg") and "</svg>" in doc
+    True
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    cleaned = {k: np.asarray(list(v), dtype=float) for k, v in series.items()}
+    for name, arr in cleaned.items():
+        if arr.size == 0:
+            raise ValueError(f"series {name!r} is empty")
+
+    n_max = max(a.size for a in cleaned.values())
+    xs = (np.asarray(list(x_values), dtype=float)
+          if x_values is not None else np.arange(n_max, dtype=float))
+
+    all_y = np.concatenate(list(cleaned.values()))
+    if log_y:
+        positive = all_y[all_y > 0]
+        floor = float(positive.min()) if positive.size else 1.0
+        ty = lambda a: np.log10(np.clip(a, floor, None))  # noqa: E731
+    else:
+        ty = lambda a: a  # noqa: E731
+    t_all = ty(all_y)
+    y_lo, y_hi = float(t_all.min()), float(t_all.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = (float(xs.min()), float(xs.max())) if xs.size else (0.0, 1.0)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    plot_h = height - _MARGIN_T - _MARGIN_B
+
+    def px(x: float) -> float:
+        return _MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(t: float) -> float:
+        return _MARGIN_T + (1.0 - (t - y_lo) / (y_hi - y_lo)) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+                     f'font-size="13" font-weight="bold">{title}</text>')
+
+    # Axes + ticks + gridlines.
+    parts.append(f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" '
+                 f'height="{plot_h}" fill="none" stroke="#444"/>')
+    for tick in _nice_ticks(y_lo, y_hi):
+        y = py(tick)
+        label = 10 ** tick if log_y else tick
+        parts.append(f'<line x1="{_MARGIN_L}" y1="{y:.1f}" '
+                     f'x2="{_MARGIN_L + plot_w}" y2="{y:.1f}" '
+                     f'stroke="#ddd"/>')
+        parts.append(f'<text x="{_MARGIN_L - 6}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{_fmt(label)}</text>')
+    for tick in _nice_ticks(x_lo, x_hi):
+        x = px(tick)
+        parts.append(f'<line x1="{x:.1f}" y1="{_MARGIN_T + plot_h}" '
+                     f'x2="{x:.1f}" y2="{_MARGIN_T + plot_h + 4}" '
+                     f'stroke="#444"/>')
+        parts.append(f'<text x="{x:.1f}" y="{_MARGIN_T + plot_h + 16}" '
+                     f'text-anchor="middle">{_fmt(tick)}</text>')
+
+    # Axis labels.
+    parts.append(f'<text x="{_MARGIN_L + plot_w / 2:.0f}" '
+                 f'y="{height - 8}" text-anchor="middle">{x_label}</text>')
+    if y_label:
+        suffix = " (log)" if log_y else ""
+        parts.append(f'<text x="14" y="{_MARGIN_T + plot_h / 2:.0f}" '
+                     f'text-anchor="middle" transform="rotate(-90 14 '
+                     f'{_MARGIN_T + plot_h / 2:.0f})">{y_label}{suffix}</text>')
+
+    # Series polylines + legend.
+    for idx, (name, arr) in enumerate(cleaned.items()):
+        color = PALETTE[idx % len(PALETTE)]
+        sx = (xs if arr.size == xs.size
+              else np.linspace(x_lo, x_hi, arr.size))
+        points = " ".join(f"{px(float(x)):.1f},{py(float(t)):.1f}"
+                          for x, t in zip(sx, ty(arr)))
+        parts.append(f'<polyline points="{points}" fill="none" '
+                     f'stroke="{color}" stroke-width="1.6"/>')
+        ly = _MARGIN_T + 14 + idx * 15
+        lx = _MARGIN_L + plot_w - 110
+        parts.append(f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" '
+                     f'y2="{ly - 4}" stroke="{color}" stroke-width="2"/>')
+        parts.append(f'<text x="{lx + 24}" y="{ly}">{name}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(doc: str, path: str | Path) -> Path:
+    """Write an SVG document to disk; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(doc)
+    return path
+
+
+def export_figure_svgs(outdir: str | Path, scale34: str = "scaled",
+                       scale567: str = "full", seed: int = 0) -> list[Path]:
+    """Regenerate Figs. 3, 5, 6, 7 as SVG files under ``outdir``."""
+    import numpy as np
+
+    from repro.experiments.fig3 import run_fig3
+    from repro.experiments.fig5 import run_fig5
+    from repro.experiments.fig6 import run_fig6
+    from repro.experiments.fig7 import run_fig7
+
+    outdir = Path(outdir)
+    paths: list[Path] = []
+
+    fig3 = run_fig3(scale34, seed)
+    paths.append(save_svg(svg_line_chart(
+        {name: [sp for _, sp in pts]
+         for name, pts in fig3.speedup_series.items()},
+        title="Fig. 3: relative speedup (log scale)",
+        x_label="interval", y_label="speedup", log_y=True),
+        outdir / "fig3_speedup.svg"))
+    paths.append(save_svg(svg_line_chart(
+        {"gba nodes": fig3.gba_nodes},
+        title="Fig. 3: node allocation", y_label="nodes"),
+        outdir / "fig3_nodes.svg"))
+
+    fig5 = run_fig5(scale567, seed)
+    paths.append(save_svg(svg_line_chart(
+        {f"m={m}": p.speedup for m, p in fig5.panels.items()},
+        title="Fig. 5: speedup under eviction/contraction",
+        y_label="speedup"), outdir / "fig5_speedup.svg"))
+    paths.append(save_svg(svg_line_chart(
+        {f"m={m}": p.nodes for m, p in fig5.panels.items()},
+        title="Fig. 5: node allocation", y_label="nodes"),
+        outdir / "fig5_nodes.svg"))
+
+    fig6 = run_fig6(scale567, seed)
+    paths.append(save_svg(svg_line_chart(
+        {f"m={m}": p.evictions for m, p in fig6.panels.items()},
+        title="Fig. 6: eviction behaviour", y_label="evictions/step"),
+        outdir / "fig6_evictions.svg"))
+
+    fig7 = run_fig7(scale567, seed)
+    paths.append(save_svg(svg_line_chart(
+        {f"α={a}": np.cumsum(c.hits) for a, c in fig7.curves.items()},
+        title="Fig. 7: cumulative data reuse", y_label="hits"),
+        outdir / "fig7_reuse.svg"))
+    return paths

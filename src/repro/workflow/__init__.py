@@ -1,0 +1,18 @@
+"""Auspice-style workflow integration.
+
+"Our cache was originally proposed to speed up computations in our
+scientific workflow system, Auspice ... the cache's API has been designed
+to allow for transparent integration ... to compose derived results
+directly into workflow plans." (Sec. I)
+
+This package provides the minimum credible stand-in for that host system:
+a DAG of service invocations (:class:`ServiceDAG`) and a cache-aware
+planner (:class:`CachePlanner`) that, before executing a plan, substitutes
+any task whose derived result is already cached — the "composing derived
+results directly into workflow plans" behaviour.
+"""
+
+from repro.workflow.dag import ServiceDAG, Task, WorkflowError
+from repro.workflow.planner import CachePlanner, PlanReport
+
+__all__ = ["ServiceDAG", "Task", "WorkflowError", "CachePlanner", "PlanReport"]

@@ -1,0 +1,42 @@
+"""Query workload generation — the paper's submission loop.
+
+Sec. IV-A regulates querying with::
+
+    for time step i = 1 to ... do
+        R = current query rate(i)
+        for j = 1 to R do
+            invoke shoreline service(rand_coordinates(i))
+
+:class:`RateSchedule` supplies ``R`` per step (constant for Fig. 3; the
+50 → 250 → 50 phases for Figs. 5-7), :class:`KeySpace` defines the input
+possibilities (64 K / 32 K linearized coordinates), a key distribution
+picks ``rand_coordinates``, and :class:`QueryWorkload` glues them into a
+reproducible per-step key stream.
+"""
+
+from repro.workload.keyspace import KeySpace
+from repro.workload.distributions import (
+    HotspotPicker,
+    KeyPicker,
+    LocalityWalkPicker,
+    SpatialHotspotPicker,
+    UniformPicker,
+    ZipfPicker,
+)
+from repro.workload.schedule import Phase, RateSchedule
+from repro.workload.generator import QueryWorkload
+from repro.workload.trace import QueryTrace
+
+__all__ = [
+    "KeySpace",
+    "KeyPicker",
+    "UniformPicker",
+    "ZipfPicker",
+    "HotspotPicker",
+    "SpatialHotspotPicker",
+    "LocalityWalkPicker",
+    "Phase",
+    "RateSchedule",
+    "QueryWorkload",
+    "QueryTrace",
+]

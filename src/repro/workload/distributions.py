@@ -1,0 +1,149 @@
+"""Key-sampling distributions.
+
+The paper randomizes "inputs over 64K possibilities ... which emulates the
+worst case for possible reuse" — uniform sampling.  Real query-intensive
+events (the Haiti example) are far more skewed, so we also provide Zipf,
+hotspot, and spatial-locality pickers for the extension benchmarks and
+examples.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class KeyPicker(abc.ABC):
+    """Samples keyspace *indices* for one time step."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, n: int, size: int) -> np.ndarray:
+        """Draw ``n`` indices in ``[0, size)``."""
+
+
+@dataclass(frozen=True)
+class UniformPicker(KeyPicker):
+    """The paper's worst-case-for-reuse uniform distribution."""
+
+    def sample(self, rng: np.random.Generator, n: int, size: int) -> np.ndarray:
+        """Uniform i.i.d. indices."""
+        return rng.integers(0, size, size=n)
+
+
+@dataclass(frozen=True)
+class ZipfPicker(KeyPicker):
+    """Zipf-ranked popularity: index ``i`` drawn ∝ ``(i+1)^-s``.
+
+    A fixed permutation (seeded by ``perm_seed``) maps popularity ranks to
+    keyspace positions so the hot keys are scattered across nodes rather
+    than clustered on the hash line.
+    """
+
+    s: float = 1.1
+    perm_seed: int = 1234
+
+    def sample(self, rng: np.random.Generator, n: int, size: int) -> np.ndarray:
+        """Draw by inverse-CDF over the truncated Zipf pmf."""
+        ranks = np.arange(1, size + 1, dtype=float)
+        pmf = ranks ** (-self.s)
+        pmf /= pmf.sum()
+        drawn = rng.choice(size, size=n, p=pmf)
+        perm = np.random.default_rng(self.perm_seed).permutation(size)
+        return perm[drawn]
+
+
+@dataclass(frozen=True)
+class HotspotPicker(KeyPicker):
+    """A fraction of traffic hits a small hot subset (flash-crowd shape).
+
+    Parameters
+    ----------
+    hot_fraction:
+        Probability a query targets the hot set.
+    hot_set_fraction:
+        Size of the hot set relative to the keyspace.
+    """
+
+    hot_fraction: float = 0.8
+    hot_set_fraction: float = 0.05
+
+    def sample(self, rng: np.random.Generator, n: int, size: int) -> np.ndarray:
+        """Mixture of uniform-over-hot-set and uniform-over-all."""
+        hot_size = max(1, int(size * self.hot_set_fraction))
+        is_hot = rng.random(n) < self.hot_fraction
+        out = rng.integers(0, size, size=n)
+        n_hot = int(is_hot.sum())
+        out[is_hot] = rng.integers(0, hot_size, size=n_hot)
+        return out
+
+
+@dataclass(frozen=True)
+class SpatialHotspotPicker(KeyPicker):
+    """Queries cluster around an *event epicenter in coordinate space*.
+
+    This is the Haiti scenario taken literally: interest concentrates on
+    a geographic neighbourhood, not on an arbitrary subset of keys.  The
+    picker needs the keyspace geometry (pass the
+    :class:`~repro.workload.keyspace.KeySpace`) so it can sample Gaussian
+    offsets around the epicenter and map them back to dense indices.
+
+    Because the B²-tree linearization keeps spatial neighbours adjacent
+    on the key line, this workload concentrates on *contiguous key
+    ranges* — the hot region lands on one node, which then splits,
+    effectively sharding the epicenter.  (``tests/test_spatial_hotspot.py``
+    demonstrates exactly that.)
+    """
+
+    keyspace: "object"  #: a KeySpace (duck-typed to avoid import cycle)
+    epicenter: tuple[int, int] = (0, 0)
+    sigma_fraction: float = 0.1  #: Gaussian σ as a fraction of the axis
+    background: float = 0.1  #: fraction of uniform background traffic
+    #: time-of-interest window (lo, hi); events concentrate in *recent*
+    #: time as well as space.  None = uniform over the whole t axis.
+    t_range: tuple[int, int] | None = None
+
+    def sample(self, rng: np.random.Generator, n: int, size: int) -> np.ndarray:
+        """Gaussian cluster around the epicenter + uniform background."""
+        ks = self.keyspace
+        if ks.size != size:
+            raise ValueError("picker keyspace disagrees with requested size")
+        n_bg = int(round(n * self.background))
+        n_hot = n - n_bg
+        ex, ey = self.epicenter
+        x = np.clip(np.rint(rng.normal(ex, max(1.0, ks.nx * self.sigma_fraction),
+                                       size=n_hot)), 0, ks.nx - 1)
+        y = np.clip(np.rint(rng.normal(ey, max(1.0, ks.ny * self.sigma_fraction),
+                                       size=n_hot)), 0, ks.ny - 1)
+        t_lo, t_hi = self.t_range if self.t_range is not None else (0, ks.nt)
+        if not 0 <= t_lo < t_hi <= ks.nt:
+            raise ValueError(f"t_range {self.t_range} outside [0, {ks.nt})")
+        t = rng.integers(t_lo, t_hi, size=n_hot)
+        hot_idx = (x.astype(np.int64) * ks.ny + y.astype(np.int64)) * ks.nt + t
+        bg_idx = rng.integers(0, size, size=n_bg)
+        out = np.concatenate([hot_idx, bg_idx])
+        rng.shuffle(out)
+        return out
+
+
+@dataclass
+class LocalityWalkPicker(KeyPicker):
+    """Temporally correlated interest: a drifting window over the keyspace.
+
+    Models the paper's observation that requests during an event are
+    "often related, e.g., displaying a traffic map of a certain populated
+    area": each step's queries cluster near a random-walking center.
+    """
+
+    window_fraction: float = 0.05
+    drift_fraction: float = 0.01
+    _center: float = 0.0
+
+    def sample(self, rng: np.random.Generator, n: int, size: int) -> np.ndarray:
+        """Uniform within the current window, then drift the center."""
+        window = max(1, int(size * self.window_fraction))
+        lo = int(self._center) % size
+        out = (lo + rng.integers(0, window, size=n)) % size
+        self._center = (self._center + rng.normal(0.0, size * self.drift_fraction)) % size
+        return out

@@ -1,0 +1,98 @@
+"""The experiment keyspace: which linearized inputs exist.
+
+"We have randomized inputs over 64K possibilities for each service request
+... The 64K input keys represent linearized coordinates and date (we used
+the method described in B²-Trees)." (Sec. IV-A)
+
+A :class:`KeySpace` is a dense index ``0 .. size-1`` over a coordinate box
+``nx × ny × nt``, with a vectorized mapping to linearized (space-filling
+curve) keys.  Pickers sample *indices*; the workload converts them to keys
+once, in bulk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sfc.btwo import Linearizer
+
+
+@dataclass(frozen=True)
+class KeySpace:
+    """A bounded spatiotemporal input domain.
+
+    Parameters
+    ----------
+    nx, ny, nt:
+        Extent per axis; the domain is the full cross product.
+    linearizer:
+        The key codec; its ``nbits`` must cover the largest axis.
+
+    Examples
+    --------
+    >>> ks = KeySpace.from_size(4096)
+    >>> ks.size
+    4096
+    >>> int(ks.keys_for([0]).shape[0])
+    1
+    """
+
+    nx: int
+    ny: int
+    nt: int
+    linearizer: Linearizer = field(default_factory=Linearizer)
+
+    def __post_init__(self) -> None:
+        for extent in (self.nx, self.ny, self.nt):
+            if extent < 1:
+                raise ValueError("axis extents must be >= 1")
+        largest = max(self.nx, self.ny, self.nt)
+        if largest > (1 << self.linearizer.nbits):
+            raise ValueError(
+                f"axis extent {largest} exceeds linearizer range "
+                f"2**{self.linearizer.nbits}"
+            )
+
+    @classmethod
+    def from_size(cls, size: int, curve: str = "morton") -> "KeySpace":
+        """Build a roughly cubic keyspace with ``size`` total inputs.
+
+        ``size`` must be a power of two; bits are split as evenly as
+        possible across x, y, t (t gets the remainder — "coordinates and
+        date", with dates the finer axis, as in the paper's 2^5·2^5·2^6).
+        """
+        bits = int(size).bit_length() - 1
+        if size != 1 << bits:
+            raise ValueError(f"size must be a power of two, got {size}")
+        bx = bits // 3
+        by = bits // 3
+        bt = bits - bx - by
+        nbits = max(bx, by, bt, 1)
+        return cls(nx=1 << bx, ny=1 << by, nt=1 << bt,
+                   linearizer=Linearizer(nbits=nbits, curve=curve))
+
+    @property
+    def size(self) -> int:
+        """Total number of distinct inputs."""
+        return self.nx * self.ny * self.nt
+
+    def coords_for(self, indices) -> np.ndarray:
+        """Dense indices → ``(n, 3)`` coordinate array (x, y, t)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if ((idx < 0) | (idx >= self.size)).any():
+            raise IndexError("keyspace index out of range")
+        t = idx % self.nt
+        rest = idx // self.nt
+        y = rest % self.ny
+        x = rest // self.ny
+        return np.stack([x, y, t], axis=-1)
+
+    def keys_for(self, indices) -> np.ndarray:
+        """Dense indices → linearized ``uint64`` keys (vectorized)."""
+        return self.linearizer.encode_many(self.coords_for(indices))
+
+    def all_keys(self) -> np.ndarray:
+        """Every key in the space (used by small exhaustive tests)."""
+        return self.keys_for(np.arange(self.size))

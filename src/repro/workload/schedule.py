@@ -1,0 +1,135 @@
+"""Piecewise query-rate schedules.
+
+Figs. 5-7 use the phased workload: "for the first 100 time steps, the
+querying rate is fixed at R = 50 queries/time step.  From 101 to 300 time
+steps, we enter an intensive period of R = 250 queries/time step ...
+Finally, [afterward], the query rate reduced back down to R = 50."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A constant-rate span of the workload."""
+
+    steps: int
+    rate: int  #: queries per time step (the paper's R)
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError("phase must span at least one step")
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+
+
+@dataclass(frozen=True)
+class RateSchedule:
+    """An ordered sequence of :class:`Phase`\\ s.
+
+    Examples
+    --------
+    >>> sched = RateSchedule.phased(normal=50, intensive=250)
+    >>> sched.rate_at(0), sched.rate_at(150), sched.rate_at(500)
+    (50, 250, 50)
+    >>> sched.total_steps
+    600
+    """
+
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("schedule needs at least one phase")
+
+    @classmethod
+    def constant(cls, rate: int, steps: int) -> "RateSchedule":
+        """Fig. 3's flat schedule (R = 1 over many steps)."""
+        return cls(phases=(Phase(steps=steps, rate=rate),))
+
+    @classmethod
+    def phased(cls, *, normal: int = 50, intensive: int = 250,
+               normal_steps: int = 100, intensive_steps: int = 200,
+               cooldown_steps: int = 300) -> "RateSchedule":
+        """The paper's query-intensive scenario (Figs. 5-7)."""
+        return cls(phases=(
+            Phase(steps=normal_steps, rate=normal),
+            Phase(steps=intensive_steps, rate=intensive),
+            Phase(steps=cooldown_steps, rate=normal),
+        ))
+
+    @classmethod
+    def diurnal(cls, *, base: int = 20, peak: int = 200, days: int = 3,
+                steps_per_day: int = 48) -> "RateSchedule":
+        """A day/night interest cycle (sinusoid sampled per step).
+
+        The paper's flash crowd is a one-off event; real service traffic
+        also breathes daily.  Useful for exercising repeated
+        grow/contract cycles (and the churn-avoidance threshold) without
+        hand-writing phases.
+        """
+        if base < 0 or peak < base:
+            raise ValueError("need 0 <= base <= peak")
+        if days < 1 or steps_per_day < 2:
+            raise ValueError("need days >= 1 and steps_per_day >= 2")
+        phases = []
+        for day in range(days):
+            for s in range(steps_per_day):
+                angle = 2.0 * math.pi * s / steps_per_day
+                level = 0.5 * (1.0 - math.cos(angle))  # 0 at midnight, 1 at noon
+                phases.append(Phase(steps=1, rate=round(base + (peak - base) * level)))
+        return cls(phases=tuple(phases))
+
+    @classmethod
+    def spike_train(cls, *, base: int = 20, spike: int = 300,
+                    quiet_steps: int = 40, spike_steps: int = 5,
+                    spikes: int = 4) -> "RateSchedule":
+        """Repeated short bursts over a quiet baseline.
+
+        Stress-shape for the warm pool and adaptive window: each spike is
+        shorter than a node boot, so reactive allocation always arrives
+        late.
+        """
+        if spikes < 1:
+            raise ValueError("need at least one spike")
+        phases: list[Phase] = []
+        for _ in range(spikes):
+            phases.append(Phase(steps=quiet_steps, rate=base))
+            phases.append(Phase(steps=spike_steps, rate=spike))
+        phases.append(Phase(steps=quiet_steps, rate=base))
+        return cls(phases=tuple(phases))
+
+    @property
+    def total_steps(self) -> int:
+        """Steps across all phases."""
+        return sum(p.steps for p in self.phases)
+
+    @property
+    def total_queries(self) -> int:
+        """Queries across all phases."""
+        return sum(p.steps * p.rate for p in self.phases)
+
+    def rate_at(self, step: int) -> int:
+        """``R`` for a 0-based step index.
+
+        Raises
+        ------
+        IndexError
+            If ``step`` falls outside the schedule.
+        """
+        remaining = step
+        for phase in self.phases:
+            if remaining < phase.steps:
+                return phase.rate
+            remaining -= phase.steps
+        raise IndexError(f"step {step} beyond schedule of {self.total_steps}")
+
+    def rates(self) -> Iterator[int]:
+        """Yield ``R`` for every step in order."""
+        for phase in self.phases:
+            for _ in range(phase.steps):
+                yield phase.rate

@@ -1,0 +1,149 @@
+"""Workload analysis: reuse distance, popularity, inter-arrival.
+
+The cache's whole value proposition rests on workload redundancy
+("a considerable amount of redundancy among these services can be
+exploited", Sec. I).  This module quantifies redundancy in any
+:class:`~repro.workload.trace.QueryTrace`:
+
+* **LRU stack (reuse) distances** — the number of *distinct* keys touched
+  since a key's previous access.  Their CDF *is* the LRU hit-rate curve:
+  a cache of capacity ``C`` records hits exactly the accesses with stack
+  distance < C.  ``tests/test_workload_stats.py`` cross-validates this
+  against a live :class:`~repro.core.static_cache.StaticCooperativeCache`.
+* **Popularity profile** — per-key access counts and a Zipf-exponent fit.
+* **Inter-arrival gaps** — queries between successive accesses to a key
+  (what the sliding-window eviction effectively thresholds).
+
+The stack-distance computation uses a Fenwick (binary-indexed) tree over
+access positions — ``O(n log n)`` for the whole trace, numpy-assisted —
+rather than the naive ``O(n²)`` set-walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class _Fenwick:
+    """Prefix-sum Fenwick tree over ``size`` slots."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.tree = np.zeros(size + 1, dtype=np.int64)
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i <= self.size:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        """Sum of slots [0, i)."""
+        total = 0
+        while i > 0:
+            total += int(self.tree[i])
+            i -= i & (-i)
+        return total
+
+
+def reuse_distances(keys) -> np.ndarray:
+    """LRU stack distance per access; ``-1`` marks cold (first) accesses.
+
+    Examples
+    --------
+    >>> reuse_distances([1, 2, 1, 1, 3, 2]).tolist()
+    [-1, -1, 1, 0, -1, 2]
+    """
+    keys = np.asarray(keys)
+    n = keys.shape[0]
+    out = np.empty(n, dtype=np.int64)
+    fen = _Fenwick(n)
+    last_pos: dict = {}
+    for i, key in enumerate(keys.tolist()):
+        prev = last_pos.get(key)
+        if prev is None:
+            out[i] = -1
+        else:
+            # Distinct keys accessed in (prev, i) = live markers after prev.
+            out[i] = fen.prefix(i) - fen.prefix(prev + 1)
+            fen.add(prev, -1)
+        fen.add(i, 1)
+        last_pos[key] = i
+    return out
+
+
+def lru_hit_curve(distances: np.ndarray, capacities) -> np.ndarray:
+    """Predicted LRU hit rate for each cache capacity (in records).
+
+    An access hits a size-``C`` LRU cache iff its stack distance is in
+    ``[0, C)``.  Cold accesses never hit.
+    """
+    capacities = np.asarray(capacities)
+    n = distances.shape[0]
+    if n == 0:
+        return np.zeros(capacities.shape, dtype=float)
+    warm = distances[distances >= 0]
+    sorted_d = np.sort(warm)
+    hits = np.searchsorted(sorted_d, capacities, side="left")
+    return hits / n
+
+
+@dataclass(frozen=True)
+class PopularityProfile:
+    """Key-popularity summary of a trace."""
+
+    distinct: int
+    total: int
+    max_count: int
+    top1_share: float  #: fraction of accesses to the hottest key
+    zipf_exponent: float  #: slope of log(count) vs log(rank) (>=0)
+
+    @property
+    def mean_reuse(self) -> float:
+        """Average accesses per distinct key."""
+        return self.total / self.distinct if self.distinct else 0.0
+
+
+def popularity_profile(keys) -> PopularityProfile:
+    """Fit the trace's popularity distribution."""
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return PopularityProfile(0, 0, 0, 0.0, 0.0)
+    _, counts = np.unique(keys, return_counts=True)
+    counts = np.sort(counts)[::-1]
+    ranks = np.arange(1, counts.size + 1, dtype=float)
+    if counts.size >= 2 and counts[0] > counts[-1]:
+        logr = np.log(ranks)
+        logc = np.log(counts.astype(float))
+        slope = float(((logr - logr.mean()) * (logc - logc.mean())).sum()
+                      / ((logr - logr.mean()) ** 2).sum())
+        zipf = max(0.0, -slope)
+    else:
+        zipf = 0.0
+    return PopularityProfile(
+        distinct=int(counts.size),
+        total=int(keys.size),
+        max_count=int(counts[0]),
+        top1_share=float(counts[0] / keys.size),
+        zipf_exponent=zipf,
+    )
+
+
+def interarrival_gaps(keys) -> np.ndarray:
+    """Queries elapsed between successive accesses to the same key.
+
+    One entry per warm access (cold accesses contribute nothing).  This
+    is the quantity the sliding-window eviction implicitly thresholds: a
+    key survives iff its gaps stay under ``m`` slices' worth of queries.
+    """
+    keys = np.asarray(keys)
+    gaps = []
+    last_pos: dict = {}
+    for i, key in enumerate(keys.tolist()):
+        prev = last_pos.get(key)
+        if prev is not None:
+            gaps.append(i - prev)
+        last_pos[key] = i
+    return np.asarray(gaps, dtype=np.int64)

@@ -1,0 +1,89 @@
+"""Record/replay of query traces.
+
+Comparing policies fairly (GBA vs static-N, window sizes, decays) requires
+*identical* query streams.  A :class:`QueryTrace` freezes a workload's
+output; replaying it yields bit-identical batches regardless of how many
+times — or against which cache — it is consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.workload.generator import QueryWorkload
+
+
+@dataclass(frozen=True)
+class QueryTrace:
+    """A materialized query stream.
+
+    Attributes
+    ----------
+    step_of:
+        Per-query step index, shape ``(total_queries,)``.
+    keys:
+        Per-query linearized key, same shape.
+    """
+
+    step_of: np.ndarray
+    keys: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.step_of.shape != self.keys.shape:
+            raise ValueError("step/key arrays must align")
+
+    @classmethod
+    def record(cls, workload: QueryWorkload) -> "QueryTrace":
+        """Materialize a workload into a trace."""
+        steps: list[np.ndarray] = []
+        keys: list[np.ndarray] = []
+        for step, batch in workload.steps():
+            steps.append(np.full(batch.shape, step, dtype=np.int64))
+            keys.append(batch)
+        if not keys:
+            return cls(step_of=np.empty(0, dtype=np.int64),
+                       keys=np.empty(0, dtype=np.uint64))
+        return cls(step_of=np.concatenate(steps), keys=np.concatenate(keys))
+
+    @property
+    def total_queries(self) -> int:
+        """Number of queries in the trace."""
+        return int(self.keys.shape[0])
+
+    @property
+    def total_steps(self) -> int:
+        """Number of time steps covered (including trailing empty ones)."""
+        return int(self.step_of.max()) + 1 if self.total_queries else 0
+
+    def steps(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Replay as ``(step, keys)`` batches, including empty steps."""
+        if self.total_queries == 0:
+            return
+        boundaries = np.flatnonzero(np.diff(self.step_of)) + 1
+        chunks = np.split(self.keys, boundaries)
+        step_ids = np.concatenate([[self.step_of[0]], self.step_of[boundaries]])
+        expected = 0
+        for sid, chunk in zip(step_ids.tolist(), chunks):
+            while expected < sid:  # steps with zero queries
+                yield expected, np.empty(0, dtype=np.uint64)
+                expected += 1
+            yield sid, chunk
+            expected = sid + 1
+
+    def save(self, path: str | Path) -> None:
+        """Persist to ``.npz``."""
+        np.savez_compressed(path, step_of=self.step_of, keys=self.keys)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "QueryTrace":
+        """Load a trace persisted by :meth:`save`."""
+        data = np.load(path)
+        return cls(step_of=data["step_of"], keys=data["keys"])
+
+    def distinct_keys(self) -> int:
+        """Number of distinct keys queried."""
+        return int(np.unique(self.keys).shape[0])

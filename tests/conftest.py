@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.network import NetworkModel
+from repro.cloud.provider import SimulatedCloud
+from repro.core.config import CacheConfig, ContractionConfig, EvictionConfig
+from repro.core.elastic import ElasticCooperativeCache
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def cloud(clock, rng) -> SimulatedCloud:
+    """A provider with fast, deterministic-ish boots and a high quota."""
+    return SimulatedCloud(clock=clock, rng=rng, boot_mean_s=60.0,
+                          boot_std_s=10.0, max_nodes=64)
+
+
+@pytest.fixture
+def network() -> NetworkModel:
+    return NetworkModel()
+
+
+def make_cache(cloud, network, *, capacity_bytes=4096, ring_range=1 << 12,
+               window=None, alpha=0.99, threshold=None, epsilon=2,
+               merge_threshold=0.65, greedy=True,
+               initial_nodes=1) -> ElasticCooperativeCache:
+    """Helper: a small elastic cache for unit tests."""
+    return ElasticCooperativeCache(
+        cloud=cloud,
+        network=network,
+        config=CacheConfig(
+            ring_range=ring_range,
+            node_capacity_bytes=capacity_bytes,
+            greedy=greedy,
+            initial_nodes=initial_nodes,
+        ),
+        eviction=EvictionConfig(window_slices=window, alpha=alpha,
+                                threshold=threshold),
+        contraction=ContractionConfig(epsilon_slices=epsilon,
+                                      merge_threshold=merge_threshold),
+    )
+
+
+@pytest.fixture
+def small_cache(cloud, network) -> ElasticCooperativeCache:
+    """Capacity of ~40 records of 100 B each."""
+    return make_cache(cloud, network, capacity_bytes=4096)

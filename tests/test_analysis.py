@@ -1,0 +1,128 @@
+"""Unit tests for the analysis module (complexity + cost)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import (
+    check_migration_bound,
+    fit_linear,
+    measure_lookup_scaling,
+    measure_tree_height,
+)
+from repro.analysis.cost import cost_breakdown
+from repro.core.gba import SplitEvent
+from tests.conftest import make_cache
+
+REC = 100
+
+
+def _event(moved, nbytes=None, alloc=0.0):
+    return SplitEvent(step=0, time=0.0, src_id="a", dest_id="b", bucket=1,
+                      new_bucket=2, records_moved=moved,
+                      bytes_moved=nbytes if nbytes is not None else moved * REC,
+                      migration_s=0.01 * moved, allocation_s=alloc)
+
+
+class TestMigrationBound:
+    def test_bound_holds(self):
+        report = check_migration_bound([_event(3), _event(5)], capacity_records=10)
+        assert report.holds
+        assert report.max_moved == 5
+        assert report.bound == 6
+
+    def test_violation_detected(self):
+        report = check_migration_bound([_event(9)], capacity_records=10)
+        assert not report.holds
+        assert report.violations == 1
+
+    def test_empty_events(self):
+        report = check_migration_bound([], capacity_records=10)
+        assert report.holds and report.max_moved == 0
+
+    def test_live_cache_respects_bound(self, cloud, network):
+        capacity_records = 10
+        cache = make_cache(cloud, network, capacity_bytes=capacity_records * REC)
+        for k in range(200):
+            cache.put(k, "x", nbytes=REC)
+        report = check_migration_bound(cache.gba.split_events, capacity_records)
+        assert report.splits > 0
+        assert report.holds, f"moved {report.max_moved} > bound {report.bound}"
+
+
+class TestFitLinear:
+    def test_recovers_line(self):
+        x = np.arange(10)
+        a, b, r2 = fit_linear(x, 3.0 * x + 1.0)
+        assert a == pytest.approx(3.0)
+        assert b == pytest.approx(1.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [2])
+
+    def test_migration_time_linear_in_bytes(self, cloud, network, rng):
+        cache = make_cache(cloud, network, capacity_bytes=10 * REC)
+        sizes = rng.integers(REC // 2, 2 * REC, size=300)
+        for k in range(300):
+            # Random record sizes spread bytes_moved across splits.
+            cache.put(k, "x", nbytes=int(sizes[k]))
+        events = cache.gba.split_events
+        # The paper's model: T_migrate = moved · (T_net + 1) — linear in
+        # the number of records transferred.
+        xs = [e.records_moved for e in events]
+        ys = [e.migration_s for e in events]
+        a, _, r2 = fit_linear(xs, ys)
+        assert a > 0
+        assert r2 > 0.9
+
+
+class TestLookupScaling:
+    def test_sublinear_in_bucket_count(self):
+        results = measure_lookup_scaling([16, 4096], lookups=4000)
+        (p1, t1), (p2, t2) = results
+        # p grows 256x; a log-time lookup must grow far slower than that.
+        assert t2 < t1 * 16
+
+    def test_returns_pairs(self):
+        results = measure_lookup_scaling([8, 32], lookups=500)
+        assert [p for p, _ in results] == [8, 32]
+        assert all(t > 0 for _, t in results)
+
+
+class TestTreeHeight:
+    def test_heights_within_bound(self):
+        for n, height, bound in measure_tree_height([10, 1000, 20000], order=16):
+            assert height <= bound, f"n={n}: height {height} > bound {bound}"
+
+    def test_height_grows_logarithmically(self):
+        rows = measure_tree_height([100, 10_000], order=8)
+        assert rows[1][1] <= rows[0][1] + 3
+
+
+class TestCostBreakdown:
+    def test_breakdown_from_live_run(self, cloud, network):
+        from repro.core.coordinator import Coordinator
+        from repro.services.base import SyntheticService
+
+        cache = make_cache(cloud, network, capacity_bytes=1 << 20)
+        coord = Coordinator(cache=cache, service=SyntheticService(cloud.clock),
+                            clock=cloud.clock, network=network)
+        for k in [1, 1, 2, 2, 3]:
+            coord.query(k)
+        cb = cost_breakdown(coord.metrics, cloud)
+        assert cb.queries == 5
+        assert cb.hits == 2
+        assert cb.total_usd > 0
+        assert cb.usd_per_kquery > 0
+        assert cb.usd_per_hit > 0
+        assert cb.cost_performance(2.0) == pytest.approx(cb.usd_per_kquery / 2.0)
+
+    def test_no_hits_infinite_cost_per_hit(self, cloud, network):
+        from repro.core.metrics import MetricsRecorder
+
+        m = MetricsRecorder()
+        m.record_query(hit=False, latency_s=1.0)
+        cb = cost_breakdown(m, cloud)
+        assert cb.usd_per_hit == float("inf")
+        assert cb.cost_performance(0.0) == float("inf")

@@ -1,0 +1,185 @@
+"""Unit tests for the B+-tree."""
+
+import random
+
+import pytest
+
+from repro.btree.bplustree import BPlusTree
+
+
+@pytest.fixture(params=[3, 4, 8, 64])
+def order(request):
+    return request.param
+
+
+def build(keys, order=4):
+    t = BPlusTree(order=order)
+    for k in keys:
+        t.insert(k, f"v{k}")
+    return t
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        t = BPlusTree()
+        assert len(t) == 0
+        assert t.search(1) is None
+        assert t.min_key() is None
+        assert t.max_key() is None
+        assert list(t.items()) == []
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_single_insert(self):
+        t = build([5])
+        assert len(t) == 1
+        assert t.search(5) == "v5"
+        assert 5 in t
+        assert 6 not in t
+
+    def test_overwrite_keeps_size(self):
+        t = build([5])
+        t.insert(5, "new")
+        assert len(t) == 1
+        assert t.search(5) == "new"
+
+    def test_search_default(self):
+        assert BPlusTree().search(9, default="absent") == "absent"
+
+
+class TestInsertion:
+    def test_sorted_iteration(self, order):
+        keys = random.Random(1).sample(range(1000), 300)
+        t = build(keys, order)
+        assert [k for k, _ in t.items()] == sorted(keys)
+        t.check_invariants()
+
+    def test_ascending_inserts(self, order):
+        t = build(range(200), order)
+        assert len(t) == 200
+        t.check_invariants()
+
+    def test_descending_inserts(self, order):
+        t = build(range(199, -1, -1), order)
+        assert [k for k, _ in t.items()] == list(range(200))
+        t.check_invariants()
+
+    def test_min_max(self):
+        t = build([50, 10, 90, 30])
+        assert t.min_key() == 10
+        assert t.max_key() == 90
+
+    def test_values_follow_keys(self, order):
+        keys = random.Random(2).sample(range(500), 120)
+        t = build(keys, order)
+        for k in keys:
+            assert t.search(k) == f"v{k}"
+
+
+class TestDeletion:
+    def test_delete_returns_value(self):
+        t = build([1, 2, 3])
+        assert t.delete(2) == "v2"
+        assert len(t) == 2
+        assert t.search(2) is None
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            build([1]).delete(9)
+
+    def test_pop_with_default(self):
+        t = build([1])
+        assert t.pop(9, default=None) is None
+        assert t.pop(1) == "v1"
+        with pytest.raises(KeyError):
+            t.pop(1)
+
+    def test_delete_all_random_order(self, order):
+        keys = random.Random(3).sample(range(2000), 400)
+        t = build(keys, order)
+        for k in random.Random(4).sample(keys, len(keys)):
+            t.delete(k)
+            t.check_invariants()
+        assert len(t) == 0
+        assert list(t.items()) == []
+
+    def test_delete_then_reinsert(self, order):
+        keys = list(range(100))
+        t = build(keys, order)
+        for k in keys[::2]:
+            t.delete(k)
+        for k in keys[::2]:
+            t.insert(k, "again")
+        assert len(t) == 100
+        t.check_invariants()
+        assert t.search(42) in {"again", "v42"}
+
+    def test_root_collapse(self):
+        t = build(range(50), order=4)
+        for k in range(49):
+            t.delete(k)
+        t.check_invariants()
+        assert len(t) == 1
+        assert t.search(49) == "v49"
+
+
+class TestOrderStatistics:
+    def test_kth_key(self):
+        keys = [10, 40, 20, 30, 50]
+        t = build(keys, order=3)
+        for i, expected in enumerate(sorted(keys)):
+            assert t.kth_key(i) == expected
+
+    def test_kth_key_bounds(self):
+        t = build([1, 2])
+        with pytest.raises(IndexError):
+            t.kth_key(2)
+        with pytest.raises(IndexError):
+            t.kth_key(-1)
+
+    def test_count_range(self):
+        t = build(range(0, 100, 10), order=4)  # 0,10,...,90
+        assert t.count_range(0, 90) == 10
+        assert t.count_range(15, 45) == 3  # 20,30,40
+        assert t.count_range(91, 200) == 0
+        assert t.count_range(10, 10) == 1
+
+    def test_count_range_empty_tree(self):
+        assert BPlusTree().count_range(0, 100) == 0
+
+
+class TestSearchLeaf:
+    def test_exact_hit(self):
+        t = build(range(0, 40, 2), order=4)
+        leaf, idx = t.search_leaf(10)
+        assert leaf.keys[idx] == 10
+
+    def test_miss_positions_at_successor(self):
+        t = build(range(0, 40, 2), order=4)
+        leaf, idx = t.search_leaf(11)
+        # index points where 11 *would* go; next real key is 12
+        following = leaf.keys[idx:] or [None]
+        assert following[0] == 12 or following[0] is None
+
+
+class TestLeafChain:
+    def test_chain_covers_all_keys(self, order):
+        keys = random.Random(5).sample(range(3000), 500)
+        t = build(keys, order)
+        node = t.root
+        while not node.is_leaf():
+            node = node.children[0]
+        chained = []
+        while node is not None:
+            chained.extend(node.keys)
+            node = node.next
+        assert chained == sorted(keys)
+
+    def test_chain_survives_deletions(self):
+        keys = list(range(300))
+        t = build(keys, order=4)
+        for k in random.Random(6).sample(keys, 200):
+            t.delete(k)
+        t.check_invariants()  # includes chain verification

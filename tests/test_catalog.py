@@ -1,0 +1,114 @@
+"""Unit tests for the CTM data catalog."""
+
+import pytest
+
+from repro.services.catalog import CatalogMiss, CTMCatalog, TileDescriptor
+from repro.sfc.btwo import Linearizer
+
+
+@pytest.fixture
+def catalog():
+    cat = CTMCatalog(Linearizer(nbits=6))
+    cat.register_grid(nx=4, ny=4, epochs=(0, 5, 10))
+    return cat
+
+
+class TestRegistration:
+    def test_grid_count(self, catalog):
+        assert len(catalog) == 4 * 4 * 3
+
+    def test_coverage_summary(self, catalog):
+        cov = catalog.coverage()
+        assert cov["tiles"] == 48
+        assert cov["locations"] == 16
+        assert cov["epochs"] == [0, 5, 10]
+
+    def test_duplicate_epoch_overwrites(self):
+        cat = CTMCatalog()
+        cat.register(TileDescriptor(1, 1, 0, resolution_m=10.0))
+        cat.register(TileDescriptor(1, 1, 0, resolution_m=5.0))
+        assert len(cat) == 1
+        assert cat.resolve(1, 1, 0).resolution_m == 5.0
+
+
+class TestTemporalResolve:
+    def test_exact_epoch(self, catalog):
+        assert catalog.resolve(2, 2, 5).epoch == 5
+
+    def test_newest_at_or_before(self, catalog):
+        assert catalog.resolve(2, 2, 7).epoch == 5
+        assert catalog.resolve(2, 2, 100).epoch == 10
+
+    def test_before_first_survey_misses(self, catalog):
+        # epochs start at 0, so t=-1 has no survey... epochs include 0
+        cat = CTMCatalog()
+        cat.register(TileDescriptor(0, 0, epoch=3))
+        with pytest.raises(CatalogMiss):
+            cat.resolve(0, 0, t=2)
+
+    def test_unsurveyed_location_misses(self, catalog):
+        with pytest.raises(CatalogMiss):
+            catalog.resolve(60, 60, 5)
+
+
+class TestRegionSweep:
+    def test_region_returns_curve_interval(self, catalog):
+        lin = catalog.linearizer
+        keys = sorted(lin.encode(t.x, t.y, t.epoch)
+                      for _, t in catalog.index.tree.items())
+        lo, hi = keys[5], keys[20]
+        tiles = catalog.region(lo, hi)
+        assert len(tiles) == 16
+        got = sorted(lin.encode(t.x, t.y, t.epoch) for t in tiles)
+        assert got == keys[5:21]
+
+    def test_empty_region(self, catalog):
+        assert catalog.region(10**15, 10**15 + 5) == []
+
+
+class TestServiceIntegration:
+    def test_shoreline_inputs_resolvable(self):
+        """Every key the workload can emit resolves through the catalog."""
+        from repro.workload.keyspace import KeySpace
+
+        ks = KeySpace.from_size(512)
+        cat = CTMCatalog(ks.linearizer)
+        cat.register_grid(nx=ks.nx, ny=ks.ny, epochs=(0,))
+        for idx in range(0, 512, 37):
+            x, y, t = ks.coords_for([idx])[0]
+            tile = cat.resolve(int(x), int(y), int(t))
+            assert tile.x == x and tile.y == y
+
+    def test_shoreline_service_resolves_through_catalog(self):
+        """With a catalog attached, the service uses the archived survey
+        for the requested epoch — and misses loudly when unsurveyed."""
+        from repro.services.ctm import CoastalTerrainModel
+        from repro.services.shoreline import ShorelineExtractionService
+        from repro.sim.clock import SimClock
+
+        lin = Linearizer(nbits=5)
+        cat = CTMCatalog(lin)
+        cat.register_grid(nx=4, ny=4, epochs=(0,))
+        svc = ShorelineExtractionService(
+            SimClock(), linearizer=lin, ctm=CoastalTerrainModel(grid=12),
+            catalog=cat)
+        result = svc.execute(lin.encode(2, 3, 7))
+        assert svc.deserialize(result.payload)
+
+        with pytest.raises(CatalogMiss):
+            svc.execute(lin.encode(10, 10, 7))  # never surveyed
+
+    def test_catalog_epoch_selection_changes_terrain(self):
+        """Different surveys of the same location are distinct tiles."""
+        from repro.services.ctm import CoastalTerrainModel
+        from repro.services.shoreline import ShorelineExtractionService
+        from repro.sim.clock import SimClock
+
+        lin = Linearizer(nbits=5)
+        cat = CTMCatalog(lin)
+        # A resurvey: epoch 8 points the same (x, y) at a different tile
+        # location in the synthetic archive (a new flight line).
+        cat.register(TileDescriptor(x=1, y=1, epoch=0))
+        cat.register(TileDescriptor(x=1, y=1, epoch=8, source="resurvey"))
+        assert cat.resolve(1, 1, t=5).source == "synthetic"
+        assert cat.resolve(1, 1, t=9).source == "resurvey"

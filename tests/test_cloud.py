@@ -1,0 +1,157 @@
+"""Unit tests for the simulated cloud substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.billing import BillingMeter
+from repro.cloud.instance import INSTANCE_TYPES, CloudNode, NodeState
+from repro.cloud.network import NetworkModel
+from repro.cloud.provider import AllocationError, SimulatedCloud
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def provider():
+    return SimulatedCloud(clock=SimClock(), rng=np.random.default_rng(0),
+                          boot_mean_s=60.0, boot_std_s=10.0, max_nodes=4)
+
+
+class TestInstanceTypes:
+    def test_catalog_has_small(self):
+        small = INSTANCE_TYPES["m1.small"]
+        assert small.memory_bytes == 1_700_000_000  # the paper's 1.7 GB
+        assert small.cores == 1
+
+    def test_usable_bytes_below_memory(self):
+        for itype in INSTANCE_TYPES.values():
+            assert 0 < itype.usable_bytes < itype.memory_bytes
+
+
+class TestNodeLifecycle:
+    def test_allocate_blocks_and_runs(self, provider):
+        node = provider.allocate()
+        assert node.state is NodeState.RUNNING
+        assert provider.clock.now >= provider.boot_min_s
+
+    def test_boot_latency_recorded(self, provider):
+        node = provider.allocate()
+        rec = provider.allocations[-1]
+        assert rec.node_id == node.node_id
+        assert rec.latency == pytest.approx(provider.clock.now)
+
+    def test_nonblocking_allocation_pending(self, provider):
+        node = provider.allocate(block=False)
+        assert node.state is NodeState.PENDING
+        assert provider.clock.now == 0.0
+        assert node.tags["boot_latency"] >= provider.boot_min_s
+
+    def test_finish_boot_transitions(self, provider):
+        node = provider.allocate(block=False)
+        provider.clock.advance(node.tags["boot_latency"])
+        provider.finish_boot(node)
+        assert node.state is NodeState.RUNNING
+
+    def test_terminate_stops_node(self, provider):
+        node = provider.allocate()
+        provider.terminate(node)
+        assert node.state is NodeState.TERMINATED
+        assert provider.live_count() == 0
+
+    def test_double_terminate_rejected(self, provider):
+        node = provider.allocate()
+        provider.terminate(node)
+        with pytest.raises(ValueError):
+            node.mark_terminated(provider.clock.now)
+
+    def test_quota_enforced(self, provider):
+        for _ in range(provider.max_nodes):
+            provider.allocate()
+        with pytest.raises(AllocationError):
+            provider.allocate()
+
+    def test_terminated_node_frees_quota(self, provider):
+        nodes = [provider.allocate() for _ in range(provider.max_nodes)]
+        provider.terminate(nodes[0])
+        provider.allocate()  # should not raise
+
+    def test_node_ids_unique(self, provider):
+        ids = {provider.allocate().node_id for _ in range(3)}
+        assert len(ids) == 3
+
+    def test_uptime_spans_launch_to_termination(self, provider):
+        node = provider.allocate()
+        t_ready = provider.clock.now
+        provider.clock.advance(100.0)
+        provider.terminate(node)
+        assert node.uptime(provider.clock.now) == pytest.approx(t_ready + 100.0)
+
+
+class TestBilling:
+    def test_partial_hour_rounds_up(self):
+        meter = BillingMeter()
+        node = CloudNode("i-1", INSTANCE_TYPES["m1.small"], launched_at=0.0)
+        meter.watch(node)
+        assert meter.node_hours(node, now=10.0) == 1.0
+
+    def test_multiple_hours(self):
+        meter = BillingMeter()
+        node = CloudNode("i-1", INSTANCE_TYPES["m1.small"], launched_at=0.0)
+        meter.watch(node)
+        assert meter.node_hours(node, now=3601.0) == 2.0
+
+    def test_no_rounding_mode(self):
+        meter = BillingMeter(round_up=False)
+        node = CloudNode("i-1", INSTANCE_TYPES["m1.small"], launched_at=0.0)
+        meter.watch(node)
+        assert meter.node_hours(node, now=1800.0) == pytest.approx(0.5)
+
+    def test_cost_uses_instance_price(self, provider):
+        node = provider.allocate()
+        cost = provider.billing.node_cost(node, provider.clock.now)
+        assert cost == pytest.approx(INSTANCE_TYPES["m1.small"].hourly_cost)
+
+    def test_terminated_node_stops_accruing(self, provider):
+        node = provider.allocate()
+        provider.terminate(node)
+        frozen = provider.billing.node_cost(node, provider.clock.now)
+        provider.clock.advance(100_000.0)
+        assert provider.billing.node_cost(node, provider.clock.now) == frozen
+
+    def test_summary_counts(self, provider):
+        a = provider.allocate()
+        provider.allocate()
+        provider.terminate(a)
+        summary = provider.billing.summary(provider.clock.now)
+        assert summary["nodes_total"] == 2
+        assert summary["nodes_live"] == 1
+        assert summary["cost_usd"] > 0
+
+
+class TestNetworkModel:
+    def test_more_bytes_take_longer(self):
+        net = NetworkModel()
+        assert net.transfer_time(1 << 20) > net.transfer_time(1 << 10)
+
+    def test_per_record_overhead(self):
+        net = NetworkModel(per_record_overhead_s=0.01)
+        single = net.transfer_time(1000, nrecords=1)
+        many = net.transfer_time(1000, nrecords=100)
+        assert many - single == pytest.approx(0.99, rel=1e-6)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(-1)
+
+    def test_rpc_time_positive_and_small(self):
+        rtt = NetworkModel().rpc_time()
+        assert 0 < rtt < 0.1
+
+    def test_deterministic_without_jitter(self):
+        net = NetworkModel()
+        assert net.transfer_time(5000, 3) == net.transfer_time(5000, 3)
+
+    def test_jitter_varies_but_stays_positive(self):
+        net = NetworkModel(jitter_frac=0.3, rng=np.random.default_rng(0))
+        times = [net.transfer_time(10_000) for _ in range(50)]
+        assert len(set(times)) > 1
+        assert all(t > 0 for t in times)

@@ -1,0 +1,99 @@
+"""Validation-branch tests for configuration dataclasses."""
+
+import pytest
+
+from repro.core.config import (
+    CacheConfig,
+    ContractionConfig,
+    EvictionConfig,
+    ExperimentTimings,
+)
+from repro.experiments.configs import ExperimentParams, fig3_params
+
+
+class TestCacheConfig:
+    def test_defaults_sane(self):
+        cfg = CacheConfig()
+        assert cfg.greedy
+        assert cfg.hash_mode == "identity"
+
+    def test_bad_hash_mode(self):
+        with pytest.raises(ValueError):
+            CacheConfig(hash_mode="md5")
+
+    def test_bad_ring_range(self):
+        with pytest.raises(ValueError):
+            CacheConfig(ring_range=1)
+
+    def test_bad_initial_nodes(self):
+        with pytest.raises(ValueError):
+            CacheConfig(initial_nodes=0)
+
+    def test_frozen(self):
+        cfg = CacheConfig()
+        with pytest.raises(AttributeError):
+            cfg.greedy = False
+
+
+class TestEvictionConfig:
+    def test_none_window_disables(self):
+        cfg = EvictionConfig(window_slices=None)
+        assert not cfg.enabled
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            EvictionConfig(window_slices=0)
+
+    def test_effective_threshold_m1(self):
+        # m=1: baseline alpha**0 == 1.0 (evict anything not re-queried)
+        assert EvictionConfig(window_slices=1, alpha=0.5).effective_threshold == 1.0
+
+    def test_effective_threshold_with_disabled_window(self):
+        # defensive: disabled window still yields a finite number
+        assert EvictionConfig(window_slices=None).effective_threshold == 1.0
+
+
+class TestContractionConfig:
+    def test_merge_threshold_of_one_allowed(self):
+        assert ContractionConfig(merge_threshold=1.0).merge_threshold == 1.0
+
+    def test_disabled_flag(self):
+        assert not ContractionConfig(enabled=False).enabled
+
+
+class TestExperimentTimings:
+    def test_paper_defaults(self):
+        t = ExperimentTimings()
+        assert t.service_time_s == 23.0
+        assert t.result_bytes == 1024
+
+
+class TestExperimentParams:
+    def test_footprint_is_result_plus_overhead(self):
+        p = fig3_params("mini")
+        assert p.record_footprint_bytes == (p.timings.result_bytes
+                                            + p.timings.record_overhead_bytes)
+
+    def test_capacity_calibration_default(self):
+        p = fig3_params("mini")
+        expected = max(2, p.keyspace_size // 15) * p.record_footprint_bytes
+        assert p.node_capacity_bytes == expected
+
+    def test_records_per_node_override(self):
+        import dataclasses
+
+        p = dataclasses.replace(fig3_params("mini"), records_per_node=10)
+        assert p.node_capacity_bytes == 10 * p.record_footprint_bytes
+
+    def test_cache_config_ring_covers_keys(self):
+        from repro.workload.keyspace import KeySpace
+
+        for scale in ("mini", "scaled", "full"):
+            p = fig3_params(scale)
+            ks = KeySpace.from_size(p.keyspace_size)
+            assert int(ks.all_keys().max()) < p.cache_config().ring_range
+
+    def test_frozen(self):
+        p = fig3_params("mini")
+        with pytest.raises(AttributeError):
+            p.seed = 99

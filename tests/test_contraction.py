@@ -1,0 +1,123 @@
+"""Unit tests for cache contraction (node merging)."""
+
+import pytest
+
+from repro.core.config import ContractionConfig
+from tests.conftest import make_cache
+
+REC = 100
+
+
+def grown_cache(cloud, network, *, records=25, capacity=10 * REC, **kw):
+    """A cache forced onto multiple nodes."""
+    cache = make_cache(cloud, network, capacity_bytes=capacity, **kw)
+    for k in range(records):
+        cache.put(k, f"v{k}", nbytes=REC)
+    return cache
+
+
+class TestTryContract:
+    def test_merges_after_eviction_makes_room(self, cloud, network):
+        cache = grown_cache(cloud, network)
+        assert cache.node_count >= 3
+        before = cache.node_count
+        # Evict most records so two nodes comfortably fit together.
+        cache.evict_keys(range(20))
+        merge = cache.contractor.try_contract()
+        assert merge is not None
+        assert cache.node_count == before - 1
+        assert cache.record_count == 5
+        cache.check_integrity()
+
+    def test_no_merge_when_threshold_exceeded(self, cloud, network):
+        cache = grown_cache(cloud, network)
+        # Nodes are ~half full; two of them together exceed 65 % of one.
+        fills = sorted(n.used_bytes for n in cache.nodes)
+        if fills[0] + fills[1] > 0.65 * 10 * REC:
+            assert cache.contractor.try_contract() is None
+
+    def test_never_below_min_nodes(self, cloud, network):
+        cache = grown_cache(cloud, network)
+        cache.evict_keys(range(25))  # empty everything
+        while cache.contractor.try_contract() is not None:
+            pass
+        assert cache.node_count == 1
+        cache.check_integrity()
+
+    def test_min_nodes_respected(self, cloud, network):
+        cache = grown_cache(cloud, network)
+        cache.contractor.config = ContractionConfig(min_nodes=3)
+        cache.evict_keys(range(25))
+        while cache.contractor.try_contract() is not None:
+            pass
+        assert cache.node_count == 3
+
+    def test_merged_records_still_reachable(self, cloud, network):
+        cache = grown_cache(cloud, network)
+        cache.evict_keys(range(20))
+        cache.contractor.try_contract()
+        for k in range(20, 25):
+            assert cache.get(k) is not None
+        cache.check_integrity()
+
+    def test_merge_event_accounting(self, cloud, network):
+        cache = grown_cache(cloud, network)
+        cache.evict_keys(range(21))
+        merge = cache.contractor.try_contract()
+        if merge is not None:
+            assert merge.bytes_moved == merge.records_moved * REC
+            assert merge.src_id != merge.dest_id
+
+    def test_source_instance_terminated(self, cloud, network):
+        cache = grown_cache(cloud, network)
+        live_before = cloud.live_count()
+        cache.evict_keys(range(22))
+        merge = cache.contractor.try_contract()
+        assert merge is not None
+        assert cloud.live_count() == live_before - 1
+
+    def test_merge_advances_clock(self, cloud, network):
+        cache = grown_cache(cloud, network)
+        cache.evict_keys(range(20))
+        t0 = cloud.clock.now
+        merge = cache.contractor.try_contract()
+        assert merge is not None
+        assert cloud.clock.now > t0
+
+
+class TestEpsilonCadence:
+    def test_contract_only_every_epsilon_expirations(self, cloud, network):
+        cache = grown_cache(cloud, network, window=1, epsilon=3)
+        cache.evict_keys(range(25))
+        merges = []
+        # Each end_time_slice expires one slice (window=1) after warmup.
+        cache.end_time_slice()  # warmup: fills the window
+        for i in range(6):
+            _, _, merge = cache.end_time_slice()
+            merges.append(merge is not None)
+        # Merges land on every 3rd expiry only.
+        assert merges == [False, False, True, False, False, True]
+
+    def test_disabled_contraction_never_merges(self, cloud, network):
+        cache = grown_cache(cloud, network, window=1)
+        cache.contractor.config = ContractionConfig(enabled=False)
+        cache.evict_keys(range(25))
+        for _ in range(10):
+            _, _, merge = cache.end_time_slice()
+            assert merge is None
+
+
+class TestConfigValidation:
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            ContractionConfig(epsilon_slices=0)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            ContractionConfig(merge_threshold=0.0)
+        with pytest.raises(ValueError):
+            ContractionConfig(merge_threshold=1.5)
+
+    def test_bad_min_nodes(self):
+        with pytest.raises(ValueError):
+            ContractionConfig(min_nodes=0)

@@ -1,0 +1,109 @@
+"""Unit tests for the CRISP-style directory-cache baseline."""
+
+import pytest
+
+from repro.core.cachenode import CapacityError
+from repro.core.config import CacheConfig
+from repro.core.directory import DIRECTORY_ENTRY_BYTES, DirectoryCache
+
+REC = 100
+
+
+def make_dir_cache(cloud, network, n=1, capacity=5 * REC, elastic=True):
+    return DirectoryCache(
+        cloud=cloud, network=network,
+        config=CacheConfig(ring_range=1 << 12, node_capacity_bytes=capacity),
+        n_nodes=n, elastic=elastic,
+    )
+
+
+class TestPlacement:
+    def test_put_get(self, cloud, network):
+        cache = make_dir_cache(cloud, network)
+        cache.put(7, "x", nbytes=REC)
+        assert cache.get(7).value == "x"
+        assert cache.get(8) is None
+        assert 7 in cache
+
+    def test_least_loaded_placement(self, cloud, network):
+        cache = make_dir_cache(cloud, network, n=3)
+        for k in range(9):
+            cache.put(k, "x", nbytes=REC)
+        loads = sorted(len(n) for n in cache.nodes)
+        assert loads == [3, 3, 3]  # perfectly balanced
+
+    def test_overwrite(self, cloud, network):
+        cache = make_dir_cache(cloud, network)
+        cache.put(1, "a", nbytes=REC)
+        cache.put(1, "b", nbytes=2 * REC)
+        assert cache.get(1).value == "b"
+        assert cache.record_count == 1
+        cache.check_integrity()
+
+    def test_elastic_growth_moves_nothing(self, cloud, network):
+        cache = make_dir_cache(cloud, network, n=1, capacity=5 * REC)
+        for k in range(12):
+            cache.put(k, "x", nbytes=REC)
+        assert cache.node_count == 3
+        # every record still where the directory says
+        cache.check_integrity()
+        for k in range(12):
+            assert cache.get(k) is not None
+
+    def test_static_mode_lru_evicts(self, cloud, network):
+        cache = make_dir_cache(cloud, network, n=1, capacity=3 * REC,
+                               elastic=False)
+        for k in range(5):
+            cache.put(k, "x", nbytes=REC)
+        assert cache.node_count == 1
+        assert cache.record_count == 3
+        assert cache.lru_evictions == 2
+        assert cache.get(0) is None  # oldest gone
+
+    def test_record_too_large(self, cloud, network):
+        cache = make_dir_cache(cloud, network, capacity=3 * REC)
+        with pytest.raises(CapacityError):
+            cache.put(1, "big", nbytes=4 * REC)
+
+
+class TestDirectoryState:
+    def test_metadata_grows_with_records(self, cloud, network):
+        cache = make_dir_cache(cloud, network, n=2, capacity=100 * REC)
+        for k in range(50):
+            cache.put(k, "x", nbytes=REC)
+        assert cache.metadata_bytes == 50 * DIRECTORY_ENTRY_BYTES
+
+    def test_evict_keys(self, cloud, network):
+        cache = make_dir_cache(cloud, network, capacity=100 * REC)
+        for k in range(10):
+            cache.put(k, "x", nbytes=REC)
+        assert cache.evict_keys([1, 2, 99]) == 2
+        assert cache.record_count == 8
+        cache.check_integrity()
+
+    def test_lookup_overhead_positive(self, cloud, network):
+        cache = make_dir_cache(cloud, network)
+        assert cache.lookup_overhead_s() > 0
+
+    def test_stats_shape(self, cloud, network):
+        cache = make_dir_cache(cloud, network)
+        cache.put(1, "x", nbytes=REC)
+        stats = cache.stats()
+        for key in ("nodes", "records", "metadata_bytes", "lru_evictions"):
+            assert key in stats
+
+
+class TestCoordinatorCompat:
+    def test_drivable_by_coordinator(self, cloud, network):
+        from repro.core.coordinator import Coordinator
+        from repro.services.base import SyntheticService
+
+        cache = make_dir_cache(cloud, network, capacity=100 * (1024 + 64))
+        coord = Coordinator(cache=cache,
+                            service=SyntheticService(cloud.clock),
+                            clock=cloud.clock, network=network)
+        coord.query(5)
+        out = coord.query(5)
+        assert out.hit
+        coord.end_step()
+        assert coord.metrics.total_hits == 1

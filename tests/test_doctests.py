@@ -1,0 +1,37 @@
+"""Run every docstring example in the library as a test.
+
+Docstring examples are part of the public documentation; this collector
+keeps them executable so they can never rot.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.startswith("repro.__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES + ["repro"])
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"
+
+
+def test_doctest_coverage_is_nontrivial():
+    """The library should carry a healthy number of runnable examples."""
+    total = 0
+    for name in MODULES:
+        module = importlib.import_module(name)
+        finder = doctest.DocTestFinder()
+        total += sum(len(t.examples) for t in finder.find(module))
+    assert total >= 25, f"only {total} doctest examples across the library"

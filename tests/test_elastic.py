@@ -1,0 +1,154 @@
+"""Integration-style tests for the elastic cache facade."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.provider import SimulatedCloud
+from repro.core.config import CacheConfig, EvictionConfig
+from repro.core.elastic import ElasticCooperativeCache
+from repro.sim.clock import SimClock
+from tests.conftest import make_cache
+
+REC = 100
+
+
+class TestConstruction:
+    def test_initial_node_and_sentinel_bucket(self, cloud, network):
+        cache = make_cache(cloud, network, ring_range=1 << 10)
+        assert cache.node_count == 1
+        assert cache.ring.buckets == [(1 << 10) - 1]
+
+    def test_multiple_initial_nodes_spread_buckets(self, cloud, network):
+        cache = make_cache(cloud, network, ring_range=1000, initial_nodes=4)
+        assert cache.node_count == 4
+        assert cache.ring.buckets == [249, 499, 749, 999]
+        assert len(set(id(n) for n in cache.ring.node_map.values())) == 4
+
+    def test_capacity_defaults_to_instance(self, cloud, network):
+        cache = ElasticCooperativeCache(
+            cloud=cloud, network=network,
+            config=CacheConfig(ring_range=1 << 10))
+        assert cache.nodes[0].capacity_bytes == cloud.default_itype.usable_bytes
+
+    def test_custom_node_source(self, network, rng):
+        clock = SimClock()
+        cloud = SimulatedCloud(clock=clock, rng=rng)
+        calls = []
+
+        def source():
+            calls.append(1)
+            return cloud.allocate(block=True)
+
+        cache = ElasticCooperativeCache(
+            cloud=cloud, network=network,
+            config=CacheConfig(ring_range=1 << 10, node_capacity_bytes=5 * REC),
+            node_source=source)
+        for k in range(12):
+            cache.put(k, "x", nbytes=REC)
+        assert len(calls) == cache.node_count
+
+
+class TestEndToEnd:
+    def test_contains(self, small_cache):
+        small_cache.put(5, "x", nbytes=REC)
+        assert 5 in small_cache
+        assert 6 not in small_cache
+
+    def test_stats_shape(self, small_cache):
+        small_cache.put(5, "x", nbytes=REC)
+        stats = small_cache.stats()
+        for field in ("nodes", "records", "used_bytes", "capacity_bytes",
+                      "buckets", "splits", "merges", "cost_usd"):
+            assert field in stats
+
+    def test_release_refuses_nonempty(self, cloud, network):
+        cache = make_cache(cloud, network, capacity_bytes=10 * REC)
+        for k in range(15):
+            cache.put(k, "x", nbytes=REC)
+        victim = next(n for n in cache.nodes if len(n) > 0)
+        with pytest.raises(RuntimeError):
+            cache._release_node(victim)
+
+    def test_window_lifecycle_evicts_stale_keys(self, cloud, network):
+        cache = make_cache(cloud, network, capacity_bytes=100 * REC,
+                           window=2)
+        cache.record_query(1)
+        cache.put(1, "x", nbytes=REC)
+        for _ in range(2):
+            cache.end_time_slice()
+        batch, removed, _ = cache.end_time_slice()
+        assert removed == 1
+        assert cache.get(1) is None
+
+    def test_requeried_keys_survive_window(self, cloud, network):
+        cache = make_cache(cloud, network, capacity_bytes=100 * REC,
+                           window=2)
+        cache.record_query(1)
+        cache.put(1, "x", nbytes=REC)
+        for _ in range(5):
+            cache.record_query(1)  # keep interest alive
+            cache.end_time_slice()
+        assert cache.get(1) is not None
+
+    def test_infinite_window_never_evicts(self, cloud, network):
+        cache = make_cache(cloud, network, window=None)
+        cache.record_query(1)
+        cache.put(1, "x", nbytes=REC)
+        for _ in range(10):
+            batch, removed, merge = cache.end_time_slice()
+            assert batch is None and removed == 0 and merge is None
+        assert cache.get(1) is not None
+
+    def test_full_cycle_grow_then_shrink(self, cloud, network):
+        """The paper's elasticity claim, in miniature."""
+        cache = make_cache(cloud, network, capacity_bytes=20 * REC,
+                           window=3, epsilon=1)
+        # Intensive phase: 100 distinct keys -> growth.
+        for step in range(5):
+            for k in range(step * 20, (step + 1) * 20):
+                cache.record_query(k)
+                cache.put(k, "x", nbytes=REC)
+            cache.end_time_slice()
+        grown = cache.node_count
+        assert grown > 1
+        # Quiet phase: only re-query a handful; the window drains the rest.
+        for _ in range(12):
+            for k in range(3):
+                cache.record_query(k)
+            cache.end_time_slice()
+        assert cache.node_count < grown
+        cache.check_integrity()
+
+
+class TestDeterminism:
+    def test_same_seed_same_final_state(self, network):
+        def run(seed):
+            clock = SimClock()
+            cloud = SimulatedCloud(clock=clock, rng=np.random.default_rng(seed),
+                                   max_nodes=64)
+            cache = make_cache(cloud, network, capacity_bytes=10 * REC)
+            keys = np.random.default_rng(99).integers(0, 500, size=300)
+            for k in keys.tolist():
+                cache.put(int(k), "x", nbytes=REC)
+            return cache.stats(), clock.now
+
+        s1, t1 = run(7)
+        s2, t2 = run(7)
+        assert s1 == s2
+        assert t1 == t2
+
+    def test_different_alloc_seed_changes_only_timing(self, network):
+        def run(seed):
+            clock = SimClock()
+            cloud = SimulatedCloud(clock=clock, rng=np.random.default_rng(seed),
+                                   max_nodes=64)
+            cache = make_cache(cloud, network, capacity_bytes=10 * REC)
+            for k in range(100):
+                cache.put(k, "x", nbytes=REC)
+            return cache.stats(), clock.now
+
+        s1, t1 = run(1)
+        s2, t2 = run(2)
+        assert s1["records"] == s2["records"]
+        assert s1["nodes"] == s2["nodes"]
+        assert t1 != t2  # boot latencies differ

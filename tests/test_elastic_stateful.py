@@ -1,0 +1,91 @@
+"""Stateful property testing: the elastic cache as a state machine.
+
+Hypothesis drives arbitrary interleavings of put / evict / slice-expiry /
+contraction against a model dict, checking after every rule that the
+cache and model agree and every structural invariant holds.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.cloud.network import NetworkModel
+from repro.cloud.provider import SimulatedCloud
+from repro.core.config import CacheConfig, ContractionConfig, EvictionConfig
+from repro.core.elastic import ElasticCooperativeCache
+from repro.sim.clock import SimClock
+
+REC = 10
+KEYSPACE = 600
+
+
+class ElasticCacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        cloud = SimulatedCloud(clock=SimClock(),
+                               rng=np.random.default_rng(0), max_nodes=256)
+        self.cache = ElasticCooperativeCache(
+            cloud=cloud, network=NetworkModel(),
+            config=CacheConfig(ring_range=1 << 10,
+                               node_capacity_bytes=8 * REC),
+            eviction=EvictionConfig(window_slices=3),
+            contraction=ContractionConfig(epsilon_slices=2),
+        )
+        self.model: dict[int, int] = {}
+        self.counter = 0
+
+    @rule(key=st.integers(0, KEYSPACE - 1))
+    def put(self, key):
+        self.counter += 1
+        self.cache.record_query(key)
+        self.cache.put(key, self.counter, nbytes=REC)
+        self.model[key] = self.counter
+
+    @rule(key=st.integers(0, KEYSPACE - 1))
+    def query(self, key):
+        self.cache.record_query(key)
+        record = self.cache.get(key)
+        if key in self.model:
+            assert record is not None and record.value == self.model[key]
+        else:
+            assert record is None
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def evict_some(self, data):
+        keys = data.draw(st.lists(st.sampled_from(sorted(self.model)),
+                                  unique=True, max_size=6))
+        removed = self.cache.evict_keys(keys)
+        assert removed == len(keys)
+        for k in keys:
+            del self.model[k]
+
+    @rule()
+    def slice_boundary(self):
+        batch, removed, merge = self.cache.end_time_slice()
+        if batch is not None:
+            for key in batch.evicted_keys:
+                self.model.pop(key, None)
+
+    @rule()
+    def force_contract(self):
+        self.cache.contractor.try_contract()
+
+    @invariant()
+    def cache_matches_model(self):
+        assert self.cache.record_count == len(self.model)
+        assert self.cache.used_bytes == len(self.model) * REC
+
+    @invariant()
+    def structurally_sound(self):
+        self.cache.check_integrity()
+
+    @invariant()
+    def at_least_one_node(self):
+        assert self.cache.node_count >= 1
+
+
+TestElasticCacheStateMachine = ElasticCacheMachine.TestCase
+TestElasticCacheStateMachine.settings = settings(
+    max_examples=20, stateful_step_count=50, deadline=None)

@@ -1,0 +1,183 @@
+"""Shape-regression tests for the reproduction experiments (mini scale).
+
+These encode the *qualitative* findings of the paper's evaluation — who
+wins, orderings, phase behaviour — at unit-test scale, so a refactor that
+breaks the science fails CI even while all structural tests stay green.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import fig3_params, fig5_params, fig7_params
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5_panel
+from repro.experiments.fig6 import run_fig6_panel
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.harness import build_elastic, build_static, make_trace, run_trace
+
+
+class TestConfigs:
+    def test_fig3_scales(self):
+        for scale in ("mini", "scaled", "full"):
+            p = fig3_params(scale)
+            assert p.keyspace_size >= 512
+            assert not p.eviction.enabled
+
+    def test_fig5_full_matches_paper(self):
+        p = fig5_params(400, "full")
+        assert p.keyspace_size == 32_768
+        assert p.schedule.total_steps == 600
+        assert p.eviction.window_slices == 400
+        assert p.contraction.merge_threshold == 0.65
+
+    def test_fig7_threshold_fixed_across_alpha(self):
+        thresholds = {fig7_params(a).eviction.effective_threshold
+                      for a in (0.99, 0.93)}
+        assert len(thresholds) == 1
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            fig3_params("huge")
+        with pytest.raises(ValueError):
+            fig5_params(50, "huge")
+
+    def test_ring_covers_keyspace(self):
+        for size in (512, 2048, 4096, 32768, 65536):
+            p = fig3_params("mini")
+            object.__setattr__(p, "keyspace_size", size)
+            from repro.workload.keyspace import KeySpace
+            ks = KeySpace.from_size(size)
+            assert int(ks.all_keys().max()) < p.keyspace_size_pow2()
+
+
+class TestHarness:
+    def test_trace_is_reproducible(self):
+        p = fig3_params("mini")
+        t1, t2 = make_trace(p), make_trace(p)
+        assert (t1.keys == t2.keys).all()
+
+    def test_run_is_deterministic(self):
+        p = fig3_params("mini", seed=3)
+        trace = make_trace(p)
+        runs = []
+        for _ in range(2):
+            b = build_elastic(p)
+            m = run_trace(b, trace)
+            runs.append(m.summary(23.0))
+        assert runs[0] == runs[1]
+
+    def test_cold_start_resets_clock(self):
+        p = fig3_params("mini")
+        b = build_elastic(p)
+        assert b.clock.now == 0.0
+
+    def test_integrity_checked_run(self):
+        p = fig3_params("mini")
+        trace = make_trace(p)
+        b = build_elastic(p)
+        run_trace(b, trace, integrity_every=40)
+        b.cache.check_integrity()
+
+
+class TestFig3Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3("mini", static_sizes=(2, 4, 8))
+
+    def test_gba_beats_every_static(self, result):
+        gba = result.final_speedup["gba"]
+        for n in (2, 4, 8):
+            assert gba > 3 * result.final_speedup[f"static-{n}"]
+
+    def test_static_ordering(self, result):
+        s = result.final_speedup
+        assert s["static-2"] < s["static-4"] < s["static-8"]
+
+    def test_static_speedups_in_paper_ballpark(self, result):
+        assert result.final_speedup["static-2"] == pytest.approx(1.15, abs=0.15)
+        assert result.final_speedup["static-4"] == pytest.approx(1.34, abs=0.2)
+        assert result.final_speedup["static-8"] == pytest.approx(2.0, abs=0.4)
+
+    def test_gba_order_of_magnitude(self, result):
+        assert result.final_speedup["gba"] > 10.0
+
+    def test_node_growth_stabilizes(self, result):
+        nodes = result.gba_nodes
+        first_half_growth = nodes[len(nodes) // 2] - nodes[0]
+        second_half_growth = nodes[-1] - nodes[len(nodes) // 2]
+        assert second_half_growth <= first_half_growth
+        assert nodes[-1] == nodes.max()
+
+    def test_speedup_series_is_increasing_for_gba(self, result):
+        speeds = [sp for _, sp in result.speedup_series["gba"]]
+        assert speeds[-1] > speeds[0]
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "gba" in text and "static-8" in text
+
+
+class TestFig4Shape:
+    def test_allocation_dominates_overhead(self):
+        r = run_fig4("mini")
+        assert r.events, "expected splits"
+        assert r.allocation_fraction > 0.9
+        assert r.splits_with_allocation <= len(r.events)
+
+    def test_split_frequency_decays(self):
+        """'the demand for node allocation diminishes as the experiment
+        proceeds' — most splits happen early."""
+        r = run_fig4("mini")
+        steps = np.array([e.step for e in r.events])
+        total_steps = r.params.schedule.total_steps
+        assert np.median(steps) < total_steps / 2
+
+
+class TestFig56Shape:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return {m: run_fig5_panel(m, scale="mini") for m in (40, 100)}
+
+    def test_larger_window_higher_peak(self, panels):
+        assert panels[100].peak_speedup > panels[40].peak_speedup
+
+    def test_larger_window_more_nodes(self, panels):
+        assert panels[100].mean_nodes >= panels[40].mean_nodes
+
+    def test_contraction_after_intensive_period(self, panels):
+        grown = panels[100]
+        assert grown.max_nodes > 1
+        assert grown.final_nodes < grown.max_nodes
+
+    def test_fig6_reuse_rises_in_intensive_phase(self):
+        panel = run_fig6_panel(60, scale="mini")
+        means = panel.phase_means(panel.hits)
+        assert means["intensive"] > means["normal"]
+
+    def test_fig6_evictions_follow_interest(self):
+        panel = run_fig6_panel(60, scale="mini")
+        ev = panel.phase_means(panel.evictions)
+        assert ev["cooldown"] > 0  # waning interest drains the cache
+
+
+class TestFig7Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(scale="mini", alphas=(0.99, 0.93))
+
+    def test_smaller_alpha_more_evictions(self, result):
+        assert result.curves[0.93].total_evictions >= \
+            result.curves[0.99].total_evictions
+
+    def test_smaller_alpha_fewer_or_equal_hits(self, result):
+        assert result.curves[0.93].total_hits <= result.curves[0.99].total_hits
+
+    def test_hits_do_not_collapse(self, result):
+        """Paper: hit counts 'do not vary enough' to change speedup class."""
+        hi = result.curves[0.99].total_hits
+        lo = result.curves[0.93].total_hits
+        assert lo > 0.5 * hi
+
+    def test_report_renders(self, result):
+        assert "α=0.99" in result.report()

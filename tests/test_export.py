@@ -1,0 +1,72 @@
+"""Tests for the CSV export of figure series."""
+
+import pytest
+
+from repro.experiments.export import (
+    export_fig3,
+    export_fig4,
+    export_fig5,
+    export_fig7,
+)
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig7 import run_fig7
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run_fig3("mini", static_sizes=(2,))
+
+
+class TestFig3Export:
+    def test_writes_both_files(self, fig3_result, tmp_path):
+        paths = export_fig3(fig3_result, tmp_path)
+        names = {p.name for p in paths}
+        assert names == {"fig3_speedup.csv", "fig3_nodes.csv"}
+        for p in paths:
+            assert p.exists()
+
+    def test_speedup_csv_structure(self, fig3_result, tmp_path):
+        paths = export_fig3(fig3_result, tmp_path)
+        speedup = next(p for p in paths if p.name == "fig3_speedup.csv")
+        lines = speedup.read_text().strip().splitlines()
+        header = lines[0].split(",")
+        assert header[0] == "queries_elapsed"
+        assert "gba" in header and "static-2" in header
+        assert len(lines) > 2
+
+    def test_nodes_csv_monotone_steps(self, fig3_result, tmp_path):
+        paths = export_fig3(fig3_result, tmp_path)
+        nodes = next(p for p in paths if p.name == "fig3_nodes.csv")
+        lines = nodes.read_text().strip().splitlines()[1:]
+        steps = [int(line.split(",")[0]) for line in lines]
+        assert steps == sorted(steps)
+
+
+class TestOtherExports:
+    def test_fig4_one_row_per_split(self, tmp_path):
+        result = run_fig4("mini")
+        (path,) = export_fig4(result, tmp_path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) - 1 == len(result.events)
+
+    def test_fig5_one_file_per_panel(self, tmp_path):
+        result = run_fig5("mini", windows=(40, 100))
+        paths = export_fig5(result, tmp_path)
+        assert {p.name for p in paths} == {"fig5_m40.csv", "fig5_m100.csv"}
+        for p in paths:
+            lines = p.read_text().strip().splitlines()
+            assert lines[0] == "step,speedup,nodes"
+            assert len(lines) > 100
+
+    def test_fig7_alpha_columns(self, tmp_path):
+        result = run_fig7("mini", alphas=(0.99, 0.93))
+        (path,) = export_fig7(result, tmp_path)
+        header = path.read_text().splitlines()[0]
+        assert header == "step,alpha_0.93,alpha_0.99"
+
+    def test_nested_outdir_created(self, tmp_path):
+        result = run_fig4("mini")
+        (path,) = export_fig4(result, tmp_path / "a" / "b")
+        assert path.exists()

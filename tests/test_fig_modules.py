@@ -1,0 +1,99 @@
+"""Direct unit tests for the figure result classes (mini scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.fig5 import Fig5Panel, run_fig5_panel
+from repro.experiments.fig6 import run_fig6_panel
+from repro.experiments.fig7 import Fig7Curve, run_fig7
+from repro.core.gba import SplitEvent
+
+
+def make_event(step, alloc_s, migration_s=0.01, moved=5):
+    return SplitEvent(step=step, time=float(step), src_id="a", dest_id="b",
+                      bucket=1, new_bucket=2, records_moved=moved,
+                      bytes_moved=moved * 100, migration_s=migration_s,
+                      allocation_s=alloc_s)
+
+
+class TestFig4Result:
+    def test_overhead_decomposition(self):
+        r = Fig4Result(params=None, events=[make_event(1, 100.0),
+                                            make_event(2, 0.0)])
+        assert r.total_overhead_s == pytest.approx(100.02)
+        assert r.splits_with_allocation == 1
+        assert r.allocation_fraction == pytest.approx(100.0 / 100.02)
+
+    def test_empty_events(self):
+        r = Fig4Result(params=None, events=[])
+        assert r.total_overhead_s == 0.0
+        assert r.allocation_fraction == 0.0
+
+    def test_series_rows(self):
+        r = Fig4Result(params=None, events=[make_event(7, 50.0)])
+        ((step, alloc, mig, total),) = r.series()
+        assert step == 7 and alloc == 50.0
+        assert total == pytest.approx(alloc + mig)
+
+    def test_live_run_report(self):
+        r = run_fig4("mini")
+        text = r.report()
+        assert "alloc (s)" in text
+        assert f"splits: {len(r.events)}" in text
+
+
+class TestFig5Panel:
+    def test_derived_properties(self):
+        panel = Fig5Panel(window=50, params=None,
+                          speedup=np.array([1.0, 3.5, 2.0]),
+                          nodes=np.array([1, 4, 2]))
+        assert panel.peak_speedup == 3.5
+        assert panel.mean_nodes == pytest.approx(7 / 3)
+        assert panel.max_nodes == 4
+        assert panel.final_nodes == 2
+
+    def test_empty_series(self):
+        panel = Fig5Panel(window=50, params=None,
+                          speedup=np.empty(0), nodes=np.empty(0))
+        assert panel.peak_speedup == 1.0
+        assert panel.mean_nodes == 0.0
+        assert panel.final_nodes == 0
+
+    def test_live_panel_lengths_match_schedule(self):
+        panel = run_fig5_panel(40, scale="mini")
+        steps = panel.params.schedule.total_steps
+        assert len(panel.speedup) == steps
+        assert len(panel.nodes) == steps
+
+
+class TestFig6Panel:
+    def test_phase_slices_partition_the_run(self):
+        panel = run_fig6_panel(40, scale="mini")
+        slices = panel.phase_slices()
+        total = panel.params.schedule.total_steps
+        covered = sum(len(range(*sl.indices(total)))
+                      for sl in slices.values())
+        assert covered == total
+
+    def test_phase_means_empty_slice(self):
+        panel = run_fig6_panel(40, scale="mini")
+        means = panel.phase_means(np.zeros(panel.params.schedule.total_steps))
+        assert set(means) == {"normal", "intensive", "cooldown"}
+        assert all(v == 0.0 for v in means.values())
+
+
+class TestFig7Curve:
+    def test_totals(self):
+        curve = Fig7Curve(alpha=0.99, params=None,
+                          hits=np.array([1, 2, 3]),
+                          evictions=np.array([0, 5, 5]),
+                          nodes=np.array([1, 2, 2]))
+        assert curve.total_hits == 6
+        assert curve.total_evictions == 10
+        assert curve.max_nodes == 2
+
+    def test_live_run_is_complete(self):
+        result = run_fig7(scale="mini", alphas=(0.99,))
+        curve = result.curves[0.99]
+        assert curve.hits.shape[0] == curve.params.schedule.total_steps

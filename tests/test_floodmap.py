@@ -1,0 +1,102 @@
+"""Unit tests for the flood-map service."""
+
+import numpy as np
+import pytest
+
+from repro.services.ctm import CoastalTerrainModel
+from repro.services.floodmap import FloodMapService, flood_regions
+from repro.sfc.btwo import Linearizer
+from repro.sim.clock import SimClock
+
+
+class TestFloodRegions:
+    def test_fully_dry(self):
+        assert flood_regions(np.ones((4, 4)), level=0.0) == []
+
+    def test_fully_flooded(self):
+        regions = flood_regions(np.zeros((4, 4)), level=1.0)
+        assert len(regions) == 1
+        assert regions[0]["cells"] == 16
+        assert regions[0]["fraction"] == 1.0
+        assert regions[0]["max_depth_m"] == pytest.approx(1.0)
+
+    def test_disconnected_basins(self):
+        elev = np.full((5, 5), 10.0)
+        elev[0, 0] = -1.0
+        elev[4, 4] = -2.0
+        regions = flood_regions(elev, level=0.0)
+        assert len(regions) == 2
+        assert max(r["max_depth_m"] for r in regions) == pytest.approx(2.0)
+        assert {r["cells"] for r in regions} == {1}
+
+    def test_sorted_by_area(self):
+        elev = np.full((6, 6), 10.0)
+        elev[0, 0:3] = -1.0   # 3-cell basin
+        elev[5, 5] = -1.0     # 1-cell basin
+        regions = flood_regions(elev, level=0.0)
+        assert [r["cells"] for r in regions] == [3, 1]
+
+    def test_centroid_location(self):
+        elev = np.full((5, 5), 10.0)
+        elev[2, 3] = -1.0
+        (region,) = flood_regions(elev, level=0.0)
+        assert region["centroid"] == (2.0, 3.0)
+
+
+class TestFloodMapService:
+    @pytest.fixture
+    def svc(self):
+        return FloodMapService(SimClock(), linearizer=Linearizer(nbits=5),
+                               ctm=CoastalTerrainModel(grid=16))
+
+    def test_deterministic(self, svc):
+        key = svc.linearizer.encode(2, 2, 2)
+        assert svc.execute(key).payload == svc.execute(key).payload
+
+    def test_roundtrip_and_sanity(self, svc):
+        result = svc.execute(svc.linearizer.encode(1, 2, 3))
+        report = svc.deserialize(result.payload)
+        assert 0.0 < report["flooded_fraction"] < 1.0  # tilted tiles cross
+        assert report["tile_cells"] == 16 * 16
+        assert report["regions"]
+        assert report["regions"][0]["max_depth_m"] > 0
+
+    def test_water_level_changes_extent(self, svc):
+        lin = svc.linearizer
+        a = svc.deserialize(svc.execute(lin.encode(3, 3, 0)).payload)
+        b = svc.deserialize(svc.execute(lin.encode(3, 3, 9)).payload)
+        assert a["water_level_m"] != b["water_level_m"]
+        assert a["flooded_fraction"] != b["flooded_fraction"]
+
+    def test_cacheable_through_coordinator(self, cloud, network, svc):
+        from repro.core.coordinator import Coordinator
+        from tests.conftest import make_cache
+
+        svc.clock = cloud.clock
+        cache = make_cache(cloud, network, capacity_bytes=1 << 20,
+                           ring_range=1 << 15)
+        coord = Coordinator(cache=cache, service=svc, clock=cloud.clock,
+                            network=network)
+        key = svc.linearizer.encode(4, 4, 4)
+        miss = coord.query(key)
+        hit = coord.query(key)
+        assert hit.hit
+        assert svc.deserialize(hit.value.payload) == \
+            svc.deserialize(miss.value.payload)
+
+    def test_shares_substrate_with_shoreline(self):
+        """Same tile, same water level — the two services must agree on
+        the physical state they derive from."""
+        from repro.services.shoreline import ShorelineExtractionService
+
+        clock = SimClock()
+        lin = Linearizer(nbits=5)
+        ctm = CoastalTerrainModel(grid=16)
+        flood = FloodMapService(clock, linearizer=lin, ctm=ctm)
+        shore = ShorelineExtractionService(clock, linearizer=lin, ctm=ctm)
+        key = lin.encode(2, 3, 4)
+        flood_report = flood.deserialize(flood.execute(key).payload)
+        segments = shore.deserialize(shore.execute(key).payload)
+        # Partial flooding <=> a shoreline exists on the tile.
+        partially_flooded = 0 < flood_report["flooded_fraction"] < 1
+        assert partially_flooded == (len(segments) > 0)

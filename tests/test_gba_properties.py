@@ -1,0 +1,110 @@
+"""Property-based tests: the elastic cache against a dict model.
+
+The invariant battery: after any sequence of puts/evictions at any
+capacity, (1) every cached key routes back to the node holding it,
+(2) bucket accounting matches node usage, (3) every node's B+-tree is
+structurally sound, (4) no node exceeds capacity, and (5) cache contents
+match a model dict.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.provider import SimulatedCloud
+from repro.core.config import CacheConfig, ContractionConfig, EvictionConfig
+from repro.core.elastic import ElasticCooperativeCache
+from repro.sim.clock import SimClock
+
+REC = 10
+
+
+def fresh_cache(capacity_records, hash_mode="identity", seed=0):
+    cloud = SimulatedCloud(clock=SimClock(), rng=np.random.default_rng(seed),
+                           max_nodes=256)
+    from repro.cloud.network import NetworkModel
+    return ElasticCooperativeCache(
+        cloud=cloud, network=NetworkModel(),
+        config=CacheConfig(ring_range=1 << 12, hash_mode=hash_mode,
+                           node_capacity_bytes=capacity_records * REC),
+        eviction=EvictionConfig(window_slices=None),
+        contraction=ContractionConfig(enabled=False),
+    )
+
+
+def deep_check(cache, model):
+    cache.check_integrity()
+    assert cache.record_count == len(model)
+    for k, v in model.items():
+        rec = cache.get(k)
+        assert rec is not None and rec.value == v
+    for node in cache.nodes:
+        assert node.used_bytes <= node.capacity_bytes
+
+
+@given(st.lists(st.integers(0, 4000), min_size=1, max_size=250),
+       st.sampled_from([4, 7, 16]),
+       st.sampled_from(["identity", "splitmix"]))
+@settings(max_examples=40, deadline=None)
+def test_puts_never_lose_records(keys, capacity_records, hash_mode):
+    cache = fresh_cache(capacity_records, hash_mode)
+    model = {}
+    for k in keys:
+        cache.put(k, f"v{k}", nbytes=REC)
+        model[k] = f"v{k}"
+    deep_check(cache, model)
+
+
+@given(st.lists(st.integers(0, 2000), min_size=5, max_size=150),
+       st.data())
+@settings(max_examples=30, deadline=None)
+def test_put_evict_interleavings(keys, data):
+    cache = fresh_cache(capacity_records=6)
+    model = {}
+    for i, k in enumerate(keys):
+        cache.put(k, i, nbytes=REC)
+        model[k] = i
+        if i % 7 == 6:
+            victims = data.draw(
+                st.lists(st.sampled_from(sorted(model)), unique=True, max_size=5)
+            )
+            removed = cache.evict_keys(victims)
+            assert removed == len(victims)
+            for v in victims:
+                del model[v]
+    deep_check(cache, model)
+
+
+@given(st.lists(st.integers(0, 1000), min_size=10, max_size=120, unique=True))
+@settings(max_examples=25, deadline=None)
+def test_contraction_after_mass_eviction_preserves_survivors(keys):
+    cache = fresh_cache(capacity_records=5)
+    for k in keys:
+        cache.put(k, k, nbytes=REC)
+    survivors = keys[: len(keys) // 4]
+    cache.evict_keys(keys[len(keys) // 4:])
+    while cache.contractor.try_contract() is not None:
+        pass
+    deep_check(cache, {k: k for k in survivors})
+
+
+@given(st.integers(2, 30), st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_fleet_size_is_bounded_by_data_volume(n_keys, capacity_records):
+    """GBA never allocates more nodes than a constant factor of need."""
+    cache = fresh_cache(capacity_records)
+    for k in range(n_keys):
+        cache.put(k, None, nbytes=REC)
+    lower_bound = -(-n_keys // capacity_records)  # ceil
+    assert cache.node_count <= 2 * lower_bound + 1
+
+
+@given(st.lists(st.integers(0, 500), min_size=1, max_size=100))
+@settings(max_examples=25, deadline=None)
+def test_used_bytes_equals_model_footprint(keys):
+    cache = fresh_cache(capacity_records=8)
+    model = set()
+    for k in keys:
+        cache.put(k, None, nbytes=REC)
+        model.add(k)
+    assert cache.used_bytes == len(model) * REC

@@ -1,0 +1,70 @@
+"""Tests for the parameter grid sweep."""
+
+import pytest
+
+from repro.experiments.configs import fig5_params
+from repro.experiments.grid import GridSweep, override
+
+
+class TestOverride:
+    def test_top_level(self):
+        p = fig5_params(100, "mini")
+        assert override(p, "seed", 9).seed == 9
+
+    def test_nested(self):
+        p = fig5_params(100, "mini")
+        q = override(p, "eviction.alpha", 0.5)
+        assert q.eviction.alpha == 0.5
+        assert q.eviction.window_slices == p.eviction.window_slices
+
+    def test_doubly_nested_path(self):
+        p = fig5_params(100, "mini")
+        q = override(p, "timings.hit_overhead_s", 2.0)
+        assert q.timings.hit_overhead_s == 2.0
+
+    def test_original_unchanged(self):
+        p = fig5_params(100, "mini")
+        override(p, "eviction.alpha", 0.5)
+        assert p.eviction.alpha == 0.99
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(AttributeError):
+            override(fig5_params(100, "mini"), "bogus", 1)
+        with pytest.raises(AttributeError):
+            override(fig5_params(100, "mini"), "eviction.bogus", 1)
+
+
+class TestGridSweep:
+    def test_cross_product_size(self):
+        sweep = GridSweep(fig5_params(100, "mini"),
+                          {"eviction.alpha": [0.99, 0.93],
+                           "seed": [0, 1, 2]})
+        assert len(sweep.cells()) == 6
+
+    def test_cells_carry_overrides(self):
+        sweep = GridSweep(fig5_params(100, "mini"),
+                          {"eviction.alpha": [0.93]})
+        (cell,) = sweep.cells()
+        assert cell.overrides == (("eviction.alpha", 0.93),)
+        assert cell.params.eviction.alpha == 0.93
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            GridSweep(fig5_params(100, "mini"), {})
+
+    def test_run_rows(self):
+        sweep = GridSweep(fig5_params(100, "mini"),
+                          {"eviction.alpha": [0.99, 0.93]})
+        rows = sweep.run(workers=1)
+        assert len(rows) == 2
+        for row in rows:
+            assert "speedup" in row and "evictions" in row
+            assert "eviction.alpha" in row
+        # The decay trend (Fig. 7) falls out of the generic sweep too.
+        by_alpha = {row["eviction.alpha"]: row for row in rows}
+        assert by_alpha[0.93]["evictions"] >= by_alpha[0.99]["evictions"]
+
+    def test_parallel_matches_serial(self):
+        sweep = GridSweep(fig5_params(100, "mini"),
+                          {"eviction.alpha": [0.99, 0.93]})
+        assert sweep.run(workers=1) == sweep.run(workers=2)

@@ -1,0 +1,99 @@
+"""Additional harness behaviours: service overrides, pickers, bundles."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import fig3_params
+from repro.experiments.harness import (
+    build_elastic,
+    build_static,
+    make_trace,
+    run_trace,
+)
+from repro.services.base import SyntheticService
+from repro.workload.distributions import ZipfPicker
+
+
+class TestServiceOverride:
+    def test_custom_service_is_used(self):
+        params = fig3_params("mini")
+
+        class CountingService(SyntheticService):
+            pass
+
+        bundle = build_elastic(params)
+        # default path: a SyntheticService was constructed
+        assert isinstance(bundle.service, SyntheticService)
+
+        svc = CountingService(None, service_time_s=5.0)  # type: ignore[arg-type]
+        bundle2 = build_elastic(params, service=svc)
+        svc.clock = bundle2.clock
+        assert bundle2.service is svc
+        trace = make_trace(params)
+        run_trace(bundle2, trace)
+        assert svc.invocations == trace.distinct_keys()
+
+    def test_static_with_custom_service(self):
+        params = fig3_params("mini")
+        svc = SyntheticService(None, service_time_s=2.0)  # type: ignore[arg-type]
+        bundle = build_static(params, 2, service=svc)
+        svc.clock = bundle.clock
+        coordinator = bundle.coordinator
+        coordinator.query(1)
+        assert svc.invocations == 1
+        # the shorter service time flows into latency
+        assert coordinator.metrics.steps == []  # no step closed yet
+        assert bundle.clock.now < 5.0
+
+
+class TestMakeTrace:
+    def test_custom_picker_changes_distribution(self):
+        params = fig3_params("mini")
+        uniform = make_trace(params)
+        zipf = make_trace(params, picker=ZipfPicker(s=1.4))
+        assert uniform.total_queries == zipf.total_queries
+
+        def top_share(trace):
+            _, counts = np.unique(trace.keys, return_counts=True)
+            return counts.max() / trace.total_queries
+
+        # Zipf concentrates traffic far above the uniform ~1/512 share.
+        assert top_share(zipf) > 5 * top_share(uniform)
+
+    def test_same_params_same_trace(self):
+        params = fig3_params("mini", seed=11)
+        a, b = make_trace(params), make_trace(params)
+        assert (a.keys == b.keys).all()
+
+    def test_different_seed_different_trace(self):
+        a = make_trace(fig3_params("mini", seed=1))
+        b = make_trace(fig3_params("mini", seed=2))
+        assert (a.keys != b.keys).any()
+
+
+class TestBundle:
+    def test_metrics_property_is_coordinators(self):
+        bundle = build_elastic(fig3_params("mini"))
+        assert bundle.metrics is bundle.coordinator.metrics
+
+    def test_static_bundle_fleet(self):
+        bundle = build_static(fig3_params("mini"), 5)
+        assert bundle.cache.node_count == 5
+
+    def test_integrity_every_skips_static(self):
+        """integrity_every must not crash on caches without check_integrity
+        semantics for the elastic-specific checks."""
+        params = fig3_params("mini")
+        trace = make_trace(params)
+        bundle = build_static(params, 2)
+        run_trace(bundle, trace, integrity_every=50)  # no raise
+
+    def test_boot_params_flow_to_cloud(self):
+        import dataclasses
+
+        params = dataclasses.replace(fig3_params("mini"),
+                                     boot_mean_s=7.0, boot_std_s=0.5,
+                                     max_nodes=9)
+        bundle = build_elastic(params)
+        assert bundle.cloud.boot_mean_s == 7.0
+        assert bundle.cloud.max_nodes == 9

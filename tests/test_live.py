@@ -1,0 +1,249 @@
+"""Tests for the live TCP cache cluster (real sockets on localhost)."""
+
+import threading
+
+import pytest
+
+from repro.live.client import LiveCacheClient, LiveClusterClient
+from repro.live.protocol import ProtocolError
+from repro.live.server import LiveCacheServer
+
+
+@pytest.fixture
+def server():
+    srv = LiveCacheServer(capacity_bytes=1 << 20).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    with LiveCacheClient(server.address) as c:
+        yield c
+
+
+class TestSingleServer:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_put_get_roundtrip(self, client):
+        client.put(42, b"hello shoreline")
+        assert client.get(42) == b"hello shoreline"
+
+    def test_get_missing(self, client):
+        assert client.get(999) is None
+
+    def test_binary_safety(self, client):
+        payload = bytes(range(256)) * 8
+        client.put(1, payload)
+        assert client.get(1) == payload
+
+    def test_overwrite_reports_freed(self, client):
+        assert client.put(1, b"aaaa") == 0
+        assert client.put(1, b"bb") == 4
+        assert client.get(1) == b"bb"
+
+    def test_delete(self, client):
+        client.put(5, b"xyz")
+        assert client.delete(5) == (True, 3)
+        assert client.delete(5) == (False, 0)
+        assert client.get(5) is None
+
+    def test_overflow_rejected(self, server):
+        srv = LiveCacheServer(capacity_bytes=10).start()
+        try:
+            with LiveCacheClient(srv.address) as c:
+                c.put(1, b"1234567890")
+                with pytest.raises(ProtocolError, match="overflow"):
+                    c.put(2, b"x")
+                # Server keeps serving after the rejected put.
+                assert c.get(1) == b"1234567890"
+        finally:
+            srv.stop()
+
+    def test_sweep_and_extract(self, client):
+        for k in range(0, 100, 10):
+            client.put(k, f"v{k}".encode())
+        swept = client.sweep(15, 55)
+        assert [k for k, _ in swept] == [20, 30, 40, 50]
+        extracted = client.extract(15, 55)
+        assert [k for k, _ in extracted] == [20, 30, 40, 50]
+        assert client.get(30) is None
+        assert client.get(60) is not None
+
+    def test_stats(self, client):
+        client.put(1, b"abc")
+        client.get(1)
+        client.get(2)
+        stats = client.stats()
+        assert stats["records"] == 1
+        assert stats["used_bytes"] == 3
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_concurrent_clients(self, server):
+        errors = []
+
+        def worker(base):
+            try:
+                with LiveCacheClient(server.address) as c:
+                    for i in range(50):
+                        key = base * 1000 + i
+                        c.put(key, f"{key}".encode())
+                        assert c.get(key) == f"{key}".encode()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        with LiveCacheClient(server.address) as c:
+            assert c.stats()["records"] == 200
+
+    def test_context_manager_lifecycle(self):
+        with LiveCacheServer(capacity_bytes=1024) as srv:
+            with LiveCacheClient(srv.address) as c:
+                assert c.ping()
+
+    def test_client_reconnects_after_server_restart(self):
+        first = LiveCacheServer(capacity_bytes=1 << 20).start()
+        host, port = first.address
+        client = LiveCacheClient((host, port))
+        client.put(1, b"before")
+        first.stop()
+        # Same port, fresh (empty) server — as after a crash/redeploy.
+        second = LiveCacheServer(host=host, port=port,
+                                 capacity_bytes=1 << 20).start()
+        try:
+            assert client.ping()          # transparent reconnect
+            assert client.reconnects == 1
+            assert client.get(1) is None  # new server is cold
+            client.put(2, b"after")
+            assert client.get(2) == b"after"
+        finally:
+            client.close()
+            second.stop()
+
+    def test_extract_does_not_retry_on_dead_server(self):
+        server = LiveCacheServer(capacity_bytes=1 << 20).start()
+        client = LiveCacheClient(server.address)
+        client.put(1, b"x")
+        server.stop()
+        with pytest.raises((ProtocolError, OSError)):
+            client.extract(0, 10)
+        client.close()
+
+
+class TestCluster:
+    @pytest.fixture
+    def cluster(self):
+        servers = [LiveCacheServer(capacity_bytes=1 << 20).start()
+                   for _ in range(3)]
+        client = LiveClusterClient([s.address for s in servers],
+                                   ring_range=1 << 16)
+        yield client, servers
+        client.close()
+        for s in servers:
+            s.stop()
+
+    def test_routing_spreads_keys(self, cluster):
+        client, servers = cluster
+        for k in range(0, 60000, 500):
+            client.put(k, f"{k}".encode())
+        counts = [s.store.tree for s in servers]
+        populated = sum(1 for t in counts if len(t) > 0)
+        assert populated == 3
+
+    def test_all_keys_retrievable(self, cluster):
+        client, _ = cluster
+        keys = list(range(0, 60000, 777))
+        for k in keys:
+            client.put(k, f"payload-{k}".encode())
+        for k in keys:
+            assert client.get(k) == f"payload-{k}".encode()
+
+    def test_delete_routed(self, cluster):
+        client, _ = cluster
+        client.put(123, b"x")
+        assert client.delete(123)
+        assert client.get(123) is None
+        assert not client.delete(123)
+
+    def test_add_server_migrates_interval(self, cluster):
+        client, servers = cluster
+        keys = list(range(0, 60000, 300))
+        for k in keys:
+            client.put(k, f"{k}".encode())
+
+        new_server = LiveCacheServer(capacity_bytes=1 << 20).start()
+        try:
+            # Split the middle of the first bucket's interval.
+            bucket = (1 << 16) // 6
+            moved = client.add_server(new_server.address, bucket)
+            assert moved > 0
+            assert len(new_server.store.tree) == moved
+            # Every key still resolves through the grown ring.
+            for k in keys:
+                assert client.get(k) == f"{k}".encode(), f"lost {k}"
+        finally:
+            new_server.stop()
+
+    def test_remove_server_drains_to_survivors(self, cluster):
+        client, servers = cluster
+        keys = list(range(0, 60000, 450))
+        for k in keys:
+            client.put(k, f"{k}".encode())
+        victim_addr = servers[1].address
+        victim_records = servers[1].store.tree
+        had = len(victim_records)
+        moved = client.remove_server(victim_addr)
+        assert moved >= had
+        assert len(client.clients) == 2
+        # Every key still served by the shrunken cluster.
+        for k in keys:
+            assert client.get(k) == f"{k}".encode(), f"lost {k}"
+        assert len(servers[1].store.tree) == 0  # drained
+
+    def test_remove_last_server_rejected(self):
+        server = LiveCacheServer(capacity_bytes=1 << 20).start()
+        try:
+            with LiveClusterClient([server.address]) as client:
+                with pytest.raises(ValueError, match="last server"):
+                    client.remove_server(server.address)
+        finally:
+            server.stop()
+
+    def test_remove_unknown_server_rejected(self, cluster):
+        client, _ = cluster
+        with pytest.raises(ValueError, match="not in the cluster"):
+            client.remove_server(("127.0.0.1", 1))
+
+    def test_grow_then_shrink_roundtrip(self, cluster):
+        client, servers = cluster
+        keys = list(range(0, 60000, 777))
+        for k in keys:
+            client.put(k, b"x")
+        extra = LiveCacheServer(capacity_bytes=1 << 20).start()
+        try:
+            client.add_server(extra.address, (1 << 16) // 3)
+            client.remove_server(extra.address)
+            for k in keys:
+                assert client.get(k) == b"x"
+            assert len(client.clients) == 3
+        finally:
+            extra.stop()
+
+    def test_duplicate_server_rejected(self, cluster):
+        client, servers = cluster
+        with pytest.raises(ValueError):
+            client.add_server(servers[0].address, 1234)
+
+    def test_cluster_stats(self, cluster):
+        client, _ = cluster
+        client.put(1, b"abc")
+        stats = client.cluster_stats()
+        assert len(stats) == 3
+        assert sum(s["records"] for s in stats.values()) == 1

@@ -1,0 +1,127 @@
+"""Tests for the live coordinator: elasticity and eviction over TCP."""
+
+import pytest
+
+from repro.core.config import EvictionConfig
+from repro.live.client import LiveClusterClient
+from repro.live.coordinator import LiveCoordinator
+from repro.live.protocol import ProtocolError
+from repro.live.server import LiveCacheServer
+
+
+def compute(key: int) -> bytes:
+    return f"derived:{key}".encode() * 3
+
+
+@pytest.fixture
+def small_cluster():
+    """One deliberately tiny server so overflow happens fast."""
+    server = LiveCacheServer(capacity_bytes=600).start()
+    cluster = LiveClusterClient([server.address], ring_range=1 << 12)
+    yield cluster, server
+    cluster.close()
+    server.stop()
+
+
+class TestQueryLoop:
+    def test_miss_then_hit(self, small_cluster):
+        cluster, _ = small_cluster
+        coord = LiveCoordinator(cluster, compute)
+        first = coord.query(7)
+        second = coord.query(7)
+        assert first == second == compute(7)
+        assert coord.stats.misses == 1 and coord.stats.hits == 1
+        assert coord.stats.hit_rate == 0.5
+
+    def test_overflow_without_spawner_raises(self, small_cluster):
+        cluster, _ = small_cluster
+        coord = LiveCoordinator(cluster, compute, spawn_server=None)
+        with pytest.raises(ProtocolError, match="overflow"):
+            for k in range(0, 4000, 40):
+                coord.query(k)
+
+    def test_overflow_grows_cluster(self, small_cluster):
+        cluster, _ = small_cluster
+        coord = LiveCoordinator(
+            cluster, compute,
+            spawn_server=lambda: LiveCacheServer(capacity_bytes=600).start())
+        try:
+            keys = list(range(0, 4000, 40))
+            for k in keys:
+                coord.query(k)
+            assert coord.stats.grown_servers > 0
+            assert coord.stats.migrated_records > 0
+            # Everything remains served, from the grown cluster.
+            for k in keys:
+                assert coord.query(k) == compute(k)
+        finally:
+            coord.stop_spawned()
+
+    def test_eviction_over_the_wire(self, small_cluster):
+        cluster, _ = small_cluster
+        coord = LiveCoordinator(
+            cluster, compute,
+            eviction=EvictionConfig(window_slices=2))
+        coord.query(5)
+        for _ in range(3):
+            coord.end_slice()
+        assert coord.stats.evicted == 1
+        assert cluster.get(5) is None
+        # Re-query recomputes.
+        coord.query(5)
+        assert coord.stats.misses == 2
+
+    def test_requeried_key_survives_window(self, small_cluster):
+        cluster, _ = small_cluster
+        coord = LiveCoordinator(cluster, compute,
+                                eviction=EvictionConfig(window_slices=2))
+        coord.query(5)
+        for _ in range(5):
+            coord.query(5)
+            coord.end_slice()
+        assert cluster.get(5) is not None
+        assert coord.stats.evicted == 0
+
+    def test_stop_spawned_shuts_servers(self, small_cluster):
+        cluster, _ = small_cluster
+        coord = LiveCoordinator(
+            cluster, compute,
+            spawn_server=lambda: LiveCacheServer(capacity_bytes=600).start())
+        for k in range(0, 2000, 40):
+            coord.query(k)
+        spawned = list(coord.spawned)
+        assert spawned
+        coord.stop_spawned()
+        assert coord.spawned == []
+
+
+class TestEndToEndShoreline:
+    def test_real_service_through_live_stack(self):
+        """Shoreline results computed once, then served from TCP cache."""
+        from repro.services.ctm import CoastalTerrainModel
+        from repro.services.shoreline import ShorelineExtractionService
+        from repro.sfc import Linearizer
+        from repro.sim import SimClock
+
+        lin = Linearizer(nbits=5)
+        service = ShorelineExtractionService(
+            SimClock(), linearizer=lin, ctm=CoastalTerrainModel(grid=12))
+        servers = [LiveCacheServer(capacity_bytes=1 << 20).start()
+                   for _ in range(2)]
+        try:
+            with LiveClusterClient([s.address for s in servers],
+                                   ring_range=1 << 15) as cluster:
+                coord = LiveCoordinator(
+                    cluster, compute=lambda k: service.compute(k)[0])
+                keys = [lin.encode(x, y, 3) for x in range(6) for y in range(6)]
+                for k in keys:
+                    coord.query(k)
+                invocations_after_first_pass = service.invocations
+                for k in keys:
+                    payload = coord.query(k)
+                    assert service.deserialize(payload)  # real polyline
+                assert service.invocations == invocations_after_first_pass
+                assert coord.stats.hit_rate == 0.5
+        finally:
+            for s in servers:
+                s.stop()

@@ -1,0 +1,121 @@
+"""Property tests for the wire protocol framing."""
+
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.live.protocol import MAX_BODY_BYTES, ProtocolError, recv_frame, send_frame
+
+header_st = st.dictionaries(
+    st.text(min_size=1, max_size=10,
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126)),
+    st.one_of(st.integers(-2**31, 2**31), st.booleans(),
+              st.text(max_size=30)),
+    max_size=6,
+).filter(lambda d: "body" not in d)
+
+
+@given(header_st, st.binary(max_size=4096))
+@settings(max_examples=60, deadline=None)
+def test_frame_roundtrip(header, body):
+    a, b = socket.socketpair()
+    try:
+        send_frame(a, header, body)
+        got_header, got_body = recv_frame(b)
+        expected = dict(header)
+        if body:
+            expected["body"] = len(body)
+        assert got_header == expected
+        assert got_body == body
+    finally:
+        a.close()
+        b.close()
+
+
+@given(st.lists(st.tuples(header_st, st.binary(max_size=512)),
+                min_size=1, max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_back_to_back_frames(frames):
+    a, b = socket.socketpair()
+    try:
+        for header, body in frames:
+            send_frame(a, header, body)
+        for header, body in frames:
+            got_header, got_body = recv_frame(b)
+            assert got_body == body
+    finally:
+        a.close()
+        b.close()
+
+
+class TestMalformedFrames:
+    def _pair(self):
+        return socket.socketpair()
+
+    def test_truncated_header_rejected(self):
+        a, b = self._pair()
+        try:
+            a.sendall(b"\x00\x00\x00\x10not-sixteen")
+            a.close()
+            with pytest.raises(ProtocolError, match="closed mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_invalid_json_rejected(self):
+        a, b = self._pair()
+        try:
+            payload = b"this is not json"
+            a.sendall(len(payload).to_bytes(4, "big") + payload)
+            with pytest.raises(ProtocolError, match="invalid header JSON"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_header_rejected(self):
+        a, b = self._pair()
+        try:
+            payload = b"[1, 2, 3]"
+            a.sendall(len(payload).to_bytes(4, "big") + payload)
+            with pytest.raises(ProtocolError, match="JSON object"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_header_declaration_rejected(self):
+        a, b = self._pair()
+        try:
+            a.sendall((1 << 21).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError, match="exceeds limit"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_body_declaration_rejected(self):
+        a, b = self._pair()
+        try:
+            import json
+            header = json.dumps({"body": MAX_BODY_BYTES + 1}).encode()
+            a.sendall(len(header).to_bytes(4, "big") + header)
+            with pytest.raises(ProtocolError, match="out of range"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_negative_body_rejected(self):
+        a, b = self._pair()
+        try:
+            import json
+            header = json.dumps({"body": -5}).encode()
+            a.sendall(len(header).to_bytes(4, "big") + header)
+            with pytest.raises(ProtocolError, match="out of range"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()

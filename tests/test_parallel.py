@@ -1,0 +1,58 @@
+"""Tests for the parallel experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.parallel import (
+    default_workers,
+    run_fig5_parallel,
+    run_fig7_parallel,
+    run_parallel,
+)
+
+
+class TestRunParallel:
+    def test_in_order_results(self):
+        assert run_parallel(pow, [(2, 3), (3, 2), (5, 1)], workers=1) == [8, 9, 5]
+
+    def test_pool_matches_serial(self):
+        args = [(2, i) for i in range(6)]
+        assert run_parallel(pow, args, workers=3) == \
+            run_parallel(pow, args, workers=1)
+
+    def test_single_task_stays_inline(self):
+        assert run_parallel(pow, [(2, 4)], workers=8) == [16]
+
+    def test_default_workers_bounds(self):
+        assert default_workers(0) == 1
+        assert 1 <= default_workers(100) <= 8
+
+    def test_worker_exception_propagates(self):
+        def boom(x):
+            raise ValueError(f"bad {x}")
+
+        with pytest.raises(ValueError, match="bad 1"):
+            run_parallel(boom, [(1,)], workers=1)
+
+
+class TestParallelFigures:
+    def test_fig5_parallel_matches_serial(self):
+        windows = (40, 100)
+        serial = run_fig5("mini", windows=windows)
+        parallel = run_fig5_parallel("mini", windows=windows, workers=2)
+        for m in windows:
+            assert np.allclose(parallel.panels[m].speedup,
+                               serial.panels[m].speedup)
+            assert (parallel.panels[m].nodes == serial.panels[m].nodes).all()
+
+    def test_fig7_parallel_matches_serial(self):
+        from repro.experiments.fig7 import run_fig7
+
+        alphas = (0.99, 0.93)
+        serial = run_fig7("mini", alphas=alphas)
+        parallel = run_fig7_parallel("mini", alphas=alphas, workers=2)
+        for a in alphas:
+            assert parallel.curves[a].total_hits == serial.curves[a].total_hits
+            assert (parallel.curves[a].evictions
+                    == serial.curves[a].evictions).all()

@@ -1,0 +1,80 @@
+"""Performance smoke tests — generous ceilings against regressions.
+
+The scientific results are virtual-time; these guard the *wall-clock*
+cost of producing them.  Budgets are ~5x the measured values on a
+laptop-class machine, so only a genuine complexity regression (an
+accidental O(n²), a lost vectorization) trips them.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.btree.bplustree import BPlusTree
+from repro.experiments.configs import fig3_params
+from repro.experiments.harness import build_elastic, make_trace, run_trace
+from repro.sfc.zorder import morton_encode3
+from repro.workload.stats import reuse_distances
+
+
+def elapsed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+class TestWallClockBudgets:
+    def test_mini_fig3_under_budget(self):
+        params = fig3_params("mini")
+        trace = make_trace(params)
+
+        def run():
+            run_trace(build_elastic(params), trace)
+
+        assert elapsed(run) < 5.0  # measured ~0.1 s
+
+    def test_btree_100k_inserts_under_budget(self):
+        keys = np.random.default_rng(0).permutation(100_000).tolist()
+
+        def run():
+            tree = BPlusTree(order=64)
+            for k in keys:
+                tree.insert(k, None)
+
+        assert elapsed(run) < 10.0  # measured ~0.15 s
+
+    def test_morton_million_keys_under_budget(self):
+        coords = np.random.default_rng(1).integers(
+            0, 1 << 20, size=(1_000_000, 3)).astype(np.uint64)
+
+        def run():
+            morton_encode3(coords[:, 0], coords[:, 1], coords[:, 2])
+
+        assert elapsed(run) < 2.0  # measured ~0.02 s
+
+    def test_reuse_distance_50k_under_budget(self):
+        keys = np.random.default_rng(2).integers(0, 5000, size=50_000)
+
+        def run():
+            reuse_distances(keys)
+
+        # The Fenwick implementation is O(n log n); the naive O(n²)
+        # version would take minutes here.
+        assert elapsed(run) < 10.0  # measured ~0.5 s
+
+    def test_sliding_window_m400_under_budget(self):
+        """Scoring must stay proportional to query volume, not m."""
+        from repro.core.config import EvictionConfig
+        from repro.core.sliding_window import SlidingWindowEvictor
+
+        ev = SlidingWindowEvictor(EvictionConfig(window_slices=400))
+        rng = np.random.default_rng(3)
+
+        def run():
+            for _ in range(600):
+                for k in rng.integers(0, 32_768, size=100).tolist():
+                    ev.record(k)
+                ev.end_slice()
+
+        assert elapsed(run) < 10.0  # measured ~0.2 s

@@ -1,0 +1,60 @@
+"""Unit tests for report formatting."""
+
+from repro.experiments.report import ascii_table, banner, csv_lines, downsample
+
+
+class TestAsciiTable:
+    def test_basic(self):
+        out = ascii_table(["a", "b"], [[1, 2.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in lines[2]
+
+    def test_column_widths_fit_longest(self):
+        out = ascii_table(["x", "y"], [["short", 1], ["a-much-longer-cell", 2]])
+        lines = out.splitlines()
+        # the second column starts at the same offset on every row
+        offsets = {line.index("|") for line in lines if "|" in line}
+        assert len(offsets) == 1
+        assert "a-much-longer-cell" in out
+
+    def test_title(self):
+        out = ascii_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        out = ascii_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2  # header + rule only
+
+    def test_mixed_types(self):
+        out = ascii_table(["v"], [[True], ["s"], [3], [2.0]])
+        assert "True" in out and "2.000" in out
+
+
+class TestCsvLines:
+    def test_header_and_rows(self):
+        out = csv_lines(["a", "b"], [[1, 2.0], [3, 4.5]])
+        lines = out.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+        assert lines[2] == "3,4.5"
+
+    def test_float_precision(self):
+        out = csv_lines(["x"], [[1.23456789]])
+        assert out.splitlines()[1] == "1.23457"
+
+    def test_empty(self):
+        assert csv_lines(["a"], []) == "a"
+
+
+class TestHelpers:
+    def test_downsample(self):
+        assert downsample(list(range(10)), 3) == [0, 3, 6, 9]
+        assert downsample([1], 5) == [1]
+
+    def test_banner_contains_text(self):
+        out = banner("hello")
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert "hello" in lines[1]
+        assert set(lines[0]) == {"="}

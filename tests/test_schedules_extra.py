@@ -1,0 +1,85 @@
+"""Tests for the diurnal and spike-train schedules."""
+
+import numpy as np
+import pytest
+
+from repro.workload.schedule import RateSchedule
+
+
+class TestDiurnal:
+    def test_oscillates_between_base_and_peak(self):
+        s = RateSchedule.diurnal(base=10, peak=100, days=2, steps_per_day=24)
+        rates = np.array(list(s.rates()))
+        assert rates.min() == 10
+        assert rates.max() == 100
+        assert s.total_steps == 48
+
+    def test_midnight_trough_noon_peak(self):
+        s = RateSchedule.diurnal(base=0, peak=100, days=1, steps_per_day=24)
+        rates = list(s.rates())
+        assert rates[0] == 0            # midnight
+        assert rates[12] == 100         # noon
+        assert rates[6] == pytest.approx(50, abs=2)
+
+    def test_days_repeat(self):
+        s = RateSchedule.diurnal(base=5, peak=50, days=3, steps_per_day=12)
+        rates = list(s.rates())
+        assert rates[:12] == rates[12:24] == rates[24:]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateSchedule.diurnal(base=10, peak=5)
+        with pytest.raises(ValueError):
+            RateSchedule.diurnal(days=0)
+        with pytest.raises(ValueError):
+            RateSchedule.diurnal(steps_per_day=1)
+
+
+class TestSpikeTrain:
+    def test_structure(self):
+        s = RateSchedule.spike_train(base=10, spike=200, quiet_steps=5,
+                                     spike_steps=2, spikes=3)
+        rates = list(s.rates())
+        assert s.total_steps == 3 * (5 + 2) + 5
+        assert rates[:5] == [10] * 5
+        assert rates[5:7] == [200] * 2
+        assert rates[-5:] == [10] * 5
+
+    def test_spike_count(self):
+        s = RateSchedule.spike_train(base=1, spike=9, quiet_steps=3,
+                                     spike_steps=1, spikes=4)
+        rates = np.array(list(s.rates()))
+        # count rising edges into the spike level
+        edges = ((rates[1:] == 9) & (rates[:-1] == 1)).sum()
+        assert edges == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateSchedule.spike_train(spikes=0)
+
+    def test_drives_repeated_elasticity_cycles(self, cloud, network):
+        """Diurnal traffic must produce more than one grow/shrink cycle."""
+        import dataclasses
+
+        from repro.core.config import ContractionConfig, EvictionConfig
+        from repro.experiments.configs import ExperimentParams
+        from repro.experiments.harness import build_elastic, make_trace, run_trace
+
+        params = ExperimentParams(
+            name="diurnal-test",
+            keyspace_size=2048,
+            schedule=RateSchedule.diurnal(base=5, peak=80, days=3,
+                                          steps_per_day=30),
+            records_per_node=150,
+            eviction=EvictionConfig(window_slices=10),
+            contraction=ContractionConfig(epsilon_slices=2,
+                                          merge_threshold=0.8),
+            seed=4,
+        )
+        metrics = run_trace(build_elastic(params), make_trace(params))
+        nodes = metrics.series("node_count")
+        # At least two distinct growth episodes (one per day-peak).
+        growth_edges = int((np.diff(nodes) > 0).sum())
+        shrink_edges = int((np.diff(nodes) < 0).sum())
+        assert growth_edges >= 2
+        assert shrink_edges >= 1

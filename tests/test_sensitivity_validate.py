@@ -1,0 +1,67 @@
+"""Unit tests for the sensitivity sweeps and the validation scorecard."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SweepPoint,
+    by_system,
+    sweep_capacity,
+    sweep_hit_overhead,
+)
+from repro.experiments.validate import Scorecard, Target, build_targets
+
+
+class TestSweeps:
+    def test_hit_overhead_sweep_shape(self):
+        points = sweep_hit_overhead(values=(0.1, 1.0), scale="mini")
+        assert len(points) == 4  # 2 values x 2 systems
+        assert {p.system for p in points} == {"gba", "static-4"}
+
+    def test_by_system_orders_by_value(self):
+        points = [
+            SweepPoint("p", 2.0, "gba", 1, 1, 1, 1),
+            SweepPoint("p", 1.0, "gba", 1, 1, 1, 1),
+            SweepPoint("p", 1.5, "static-4", 1, 1, 1, 1),
+        ]
+        got = by_system(points, "gba")
+        assert [p.value for p in got] == [1.0, 2.0]
+
+    def test_capacity_sweep_monotone_static_hit_rate(self):
+        points = by_system(sweep_capacity(fractions=(0.5, 2.0), scale="mini"),
+                           "static-4")
+        assert points[0].hit_rate < points[1].hit_rate
+
+
+class TestScorecard:
+    def test_targets_cover_all_figures(self):
+        figures = {t.figure for t in build_targets()}
+        assert figures == {"Fig.3", "Fig.4", "Fig.5", "Fig.7"}
+        assert len(build_targets()) >= 12
+
+    def test_scorecard_counts(self):
+        t = Target("F", "c", "p", lambda r: (True, "m"))
+        f = Target("F", "c2", "p", lambda r: (False, "m"))
+        card = Scorecard(rows=[(t, True, "m"), (f, False, "m")])
+        assert card.passed == 1
+        assert card.total == 2
+        assert not card.all_passed
+
+    def test_report_renders_pass_fail(self):
+        t = Target("F", "claim-a", "p", lambda r: (True, "m"))
+        card = Scorecard(rows=[(t, True, "1.0x")])
+        out = card.report()
+        assert "PASS" in out and "claim-a" in out
+
+    def test_crashing_check_counts_as_failure(self):
+        from repro.experiments import validate as v
+
+        def boom(results):
+            raise KeyError("missing")
+
+        target = Target("F", "boom", "p", boom)
+        # emulate validate_all's guard
+        try:
+            ok, measured = target.check({})
+        except Exception as exc:
+            ok, measured = False, f"error: {exc}"
+        assert not ok and "error" in measured

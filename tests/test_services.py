@@ -1,0 +1,213 @@
+"""Unit tests for the service substrate."""
+
+import numpy as np
+import pytest
+
+from repro.services.base import Service, ServiceRegistry, SyntheticService
+from repro.services.composite import CompositeService
+from repro.services.ctm import CoastalTerrainModel
+from repro.services.shoreline import ShorelineExtractionService, marching_squares
+from repro.services.waterlevel import WaterLevelModel
+from repro.sfc.btwo import Linearizer
+from repro.sim.clock import SimClock
+
+
+class TestSyntheticService:
+    def test_execute_advances_clock(self):
+        clock = SimClock()
+        svc = SyntheticService(clock, service_time_s=23.0)
+        result = svc.execute(5)
+        assert clock.now == pytest.approx(23.0)
+        assert result.key == 5
+        assert result.nbytes == svc.result_bytes
+        assert svc.invocations == 1
+
+    def test_deterministic_payload(self):
+        clock = SimClock()
+        svc = SyntheticService(clock)
+        assert svc.execute(5).payload == svc.execute(5).payload
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        reg = ServiceRegistry()
+        svc = SyntheticService(SimClock())
+        reg.register(svc)
+        assert reg.lookup("synthetic") is svc
+        assert reg.names() == ["synthetic"]
+
+    def test_duplicate_rejected(self):
+        reg = ServiceRegistry()
+        reg.register(SyntheticService(SimClock()))
+        with pytest.raises(ValueError):
+            reg.register(SyntheticService(SimClock()))
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(KeyError):
+            ServiceRegistry().lookup("ghost")
+
+
+class TestCTM:
+    def test_deterministic_per_location(self):
+        ctm = CoastalTerrainModel(grid=16)
+        a = ctm.tile(3, 4).elevation
+        b = ctm.tile(3, 4).elevation
+        assert (a == b).all()
+
+    def test_different_locations_differ(self):
+        ctm = CoastalTerrainModel(grid=16)
+        assert (ctm.tile(0, 0).elevation != ctm.tile(5, 5).elevation).any()
+
+    def test_tile_shape_and_size(self):
+        ctm = CoastalTerrainModel(grid=32)
+        tile = ctm.tile(1, 2)
+        assert tile.elevation.shape == (32, 32)
+        assert tile.nbytes == 32 * 32 * 8
+
+    def test_contains_land_and_water(self):
+        """Every tile must cross the datum so a shoreline exists."""
+        ctm = CoastalTerrainModel(grid=32)
+        for x, y in [(0, 0), (7, 3), (100, 200)]:
+            elev = ctm.tile(x, y).elevation
+            assert elev.min() < -0.5
+            assert elev.max() > 0.5
+
+    def test_seed_changes_archive(self):
+        a = CoastalTerrainModel(grid=16, seed=0).tile(1, 1).elevation
+        b = CoastalTerrainModel(grid=16, seed=1).tile(1, 1).elevation
+        assert (a != b).any()
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            CoastalTerrainModel(grid=2)
+
+
+class TestWaterLevel:
+    def test_deterministic(self):
+        assert WaterLevelModel().level(100) == WaterLevelModel().level(100)
+
+    def test_varies_with_time(self):
+        wl = WaterLevelModel()
+        levels = {round(wl.level(t), 6) for t in range(0, 48, 3)}
+        assert len(levels) > 5
+
+    def test_bounded_by_constituents(self):
+        wl = WaterLevelModel()
+        ts = np.arange(0, 1000)
+        levels = wl.levels(ts)
+        assert (np.abs(levels - wl.mean_level_m) <= wl.max_range_m + 1e-9).all()
+
+    def test_vectorized_matches_scalar(self):
+        wl = WaterLevelModel()
+        ts = np.array([0, 7, 19, 100])
+        vec = wl.levels(ts)
+        scalars = [wl.level(int(t)) for t in ts]
+        assert np.allclose(vec, scalars)
+
+
+class TestMarchingSquares:
+    def test_simple_crossing(self):
+        f = np.array([[0.0, 0.0], [1.0, 1.0]])
+        segs = marching_squares(f, 0.5)
+        assert len(segs) == 1
+        (x0, y0, x1, y1) = segs[0]
+        # crossing at y = 0.5 along both vertical edges
+        assert y0 == pytest.approx(0.5) and y1 == pytest.approx(0.5)
+
+    def test_no_contour_when_uniform(self):
+        assert marching_squares(np.zeros((4, 4)), 0.5) == []
+        assert marching_squares(np.ones((4, 4)), 0.5) == []
+
+    def test_closed_feature_has_segments_in_every_boundary_cell(self):
+        f = np.zeros((5, 5))
+        f[2, 2] = 10.0
+        segs = marching_squares(f, 0.5)
+        assert len(segs) == 4  # the four cells around the peak
+
+    def test_interpolation_position(self):
+        f = np.array([[0.0, 1.0], [0.0, 1.0]])
+        segs = marching_squares(f, 0.25)
+        (x0, _, x1, _) = segs[0]
+        assert x0 == pytest.approx(0.25) and x1 == pytest.approx(0.25)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            marching_squares(np.zeros(5), 0.0)
+        with pytest.raises(ValueError):
+            marching_squares(np.zeros((1, 5)), 0.0)
+
+
+class TestShorelineService:
+    @pytest.fixture
+    def svc(self):
+        return ShorelineExtractionService(
+            SimClock(), linearizer=Linearizer(nbits=6),
+            ctm=CoastalTerrainModel(grid=16))
+
+    def test_execute_produces_segments(self, svc):
+        result = svc.execute(svc.linearizer.encode(3, 5, 7))
+        segs = svc.deserialize(result.payload)
+        assert len(segs) > 0
+
+    def test_deterministic_per_key(self, svc):
+        key = svc.linearizer.encode(2, 2, 2)
+        assert svc.execute(key).payload == svc.execute(key).payload
+
+    def test_different_times_move_the_shoreline(self, svc):
+        k1 = svc.linearizer.encode(3, 3, 0)
+        k2 = svc.linearizer.encode(3, 3, 9)
+        assert svc.execute(k1).payload != svc.execute(k2).payload
+
+    def test_fixed_footprint_by_default(self, svc):
+        result = svc.execute(svc.linearizer.encode(1, 1, 1))
+        assert result.nbytes == 1024
+
+    def test_actual_size_mode(self):
+        svc = ShorelineExtractionService(
+            SimClock(), linearizer=Linearizer(nbits=6),
+            ctm=CoastalTerrainModel(grid=16), result_footprint_bytes=None)
+        result = svc.execute(svc.linearizer.encode(1, 1, 1))
+        assert result.nbytes == len(result.payload)
+
+    def test_serialization_roundtrip(self):
+        segs = [(0.0, 1.0, 2.0, 3.0), (4.5, 5.5, 6.5, 7.5)]
+        payload = ShorelineExtractionService.serialize(segs)
+        back = ShorelineExtractionService.deserialize(payload)
+        assert np.allclose(back, segs)
+
+    def test_result_under_1kb(self, svc):
+        """Sec. IV-A: 'the derived shoreline result is < 1kb'."""
+        result = svc.execute(svc.linearizer.encode(4, 4, 4))
+        assert len(result.payload) < 4096  # small grid keeps it tiny
+
+
+class TestCompositeService:
+    def test_fans_out_and_combines(self):
+        clock = SimClock()
+        members = [SyntheticService(clock, service_time_s=2.0, name=f"m{i}")
+                   for i in range(3)]
+        comp = CompositeService("mashup", clock, members, overhead_s=1.0)
+        result = comp.execute(5)
+        assert len(result.payload) == 3
+        # 3 members x 2 s + 1 s orchestration
+        assert clock.now == pytest.approx(7.0)
+
+    def test_key_fan(self):
+        clock = SimClock()
+        members = [SyntheticService(clock, name=f"m{i}") for i in range(2)]
+        comp = CompositeService("mashup", clock, members,
+                                key_fan=lambda k: [k, k + 1])
+        assert comp.member_keys(10) == [10, 11]
+        result = comp.execute(10)
+        assert "10" in result.payload[0] and "11" in result.payload[1]
+
+    def test_bad_key_fan_length(self):
+        clock = SimClock()
+        comp = CompositeService("m", clock, [SyntheticService(clock)],
+                                key_fan=lambda k: [k, k])
+        with pytest.raises(ValueError):
+            comp.execute(1)
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            CompositeService("m", SimClock(), [])

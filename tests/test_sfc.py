@@ -1,0 +1,115 @@
+"""Unit tests for the space-filling-curve codecs."""
+
+import numpy as np
+import pytest
+
+from repro.sfc.hilbert import hilbert_decode, hilbert_encode
+from repro.sfc.zorder import (
+    morton_decode2,
+    morton_decode3,
+    morton_encode2,
+    morton_encode3,
+)
+
+
+class TestMorton2D:
+    def test_known_values(self):
+        # Interleaving (x=0b11, y=0b101) -> bits y2 x2 y1 x1 y0 x0
+        assert int(morton_encode2(3, 5)) == 0b100111
+
+    def test_origin(self):
+        assert int(morton_encode2(0, 0)) == 0
+
+    def test_roundtrip_scalars(self):
+        for x, y in [(0, 0), (1, 2), (12345, 67890), (2**32 - 1, 2**32 - 1)]:
+            code = morton_encode2(x, y)
+            dx, dy = morton_decode2(code)
+            assert (int(dx), int(dy)) == (x, y)
+
+    def test_roundtrip_vectorized(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2**32, size=1000, dtype=np.uint64)
+        y = rng.integers(0, 2**32, size=1000, dtype=np.uint64)
+        dx, dy = morton_decode2(morton_encode2(x, y))
+        assert (dx == x).all() and (dy == y).all()
+
+    def test_unit_step_changes_one_bit_block(self):
+        # Moving +1 in x from even positions flips only the lowest x bit.
+        assert int(morton_encode2(1, 0)) == 1
+        assert int(morton_encode2(0, 1)) == 2
+
+
+class TestMorton3D:
+    def test_known_values(self):
+        assert int(morton_encode3(1, 0, 0)) == 1
+        assert int(morton_encode3(0, 1, 0)) == 2
+        assert int(morton_encode3(0, 0, 1)) == 4
+        assert int(morton_encode3(1, 1, 1)) == 7
+
+    def test_roundtrip_vectorized(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 2**21, size=1000, dtype=np.uint64)
+        y = rng.integers(0, 2**21, size=1000, dtype=np.uint64)
+        t = rng.integers(0, 2**21, size=1000, dtype=np.uint64)
+        dx, dy, dt = morton_decode3(morton_encode3(x, y, t))
+        assert (dx == x).all() and (dy == y).all() and (dt == t).all()
+
+    def test_encode_is_injective_on_box(self):
+        n = 16
+        grid = np.stack(np.meshgrid(np.arange(n), np.arange(n), np.arange(n),
+                                    indexing="ij"), axis=-1).reshape(-1, 3)
+        codes = morton_encode3(grid[:, 0], grid[:, 1], grid[:, 2])
+        assert len(np.unique(codes)) == n**3
+
+    def test_max_21_bit_coordinate(self):
+        top = 2**21 - 1
+        dx, dy, dt = morton_decode3(morton_encode3(top, top, top))
+        assert (int(dx), int(dy), int(dt)) == (top, top, top)
+
+
+class TestHilbert:
+    @pytest.mark.parametrize("ndims,nbits", [(2, 4), (2, 8), (3, 4), (3, 7)])
+    def test_roundtrip_exhaustive_small(self, ndims, nbits):
+        side = 1 << min(nbits, 4)
+        axes = [np.arange(side)] * ndims
+        grid = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1).reshape(-1, ndims)
+        h = hilbert_encode(grid, nbits)
+        back = hilbert_decode(h, nbits, ndims)
+        assert (back == grid).all()
+
+    def test_curve_is_a_bijection_2d(self):
+        nbits = 4
+        side = 1 << nbits
+        grid = np.stack(np.meshgrid(np.arange(side), np.arange(side),
+                                    indexing="ij"), axis=-1).reshape(-1, 2)
+        h = np.sort(hilbert_encode(grid, nbits))
+        assert (h == np.arange(side * side, dtype=np.uint64)).all()
+
+    def test_consecutive_indices_are_adjacent_cells(self):
+        """The defining Hilbert property: unit steps along the curve."""
+        nbits = 5
+        idx = np.arange(1 << (2 * nbits), dtype=np.uint64)
+        coords = hilbert_decode(idx, nbits, ndims=2).astype(np.int64)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_consecutive_indices_adjacent_3d(self):
+        nbits = 3
+        idx = np.arange(1 << (3 * nbits), dtype=np.uint64)
+        coords = hilbert_decode(idx, nbits, ndims=3).astype(np.int64)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_coordinate_range_validation(self):
+        with pytest.raises(ValueError):
+            hilbert_encode(np.array([[16, 0]]), nbits=4)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            hilbert_encode(np.array([[1, 2, 3, 4]]), nbits=4)
+        with pytest.raises(ValueError):
+            hilbert_decode(np.uint64(0), nbits=4, ndims=4)
+
+    def test_bit_limit_validation(self):
+        with pytest.raises(ValueError):
+            hilbert_encode(np.array([[0, 0, 0]]), nbits=22)

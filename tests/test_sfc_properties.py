@@ -1,0 +1,81 @@
+"""Property-based tests for curve codecs and the B²-tree."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc.btwo import BSquareTree, Linearizer
+from repro.sfc.hilbert import hilbert_decode, hilbert_encode
+from repro.sfc.zorder import morton_decode3, morton_encode3
+
+coord21 = st.integers(min_value=0, max_value=2**21 - 1)
+
+
+@given(st.lists(st.tuples(coord21, coord21, coord21), min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_morton3_roundtrip_property(coords):
+    arr = np.array(coords, dtype=np.uint64)
+    x, y, t = morton_decode3(morton_encode3(arr[:, 0], arr[:, 1], arr[:, 2]))
+    assert (x == arr[:, 0]).all()
+    assert (y == arr[:, 1]).all()
+    assert (t == arr[:, 2]).all()
+
+
+@given(st.integers(min_value=1, max_value=21),
+       st.lists(st.tuples(st.integers(0, 2**21 - 1),
+                          st.integers(0, 2**21 - 1),
+                          st.integers(0, 2**21 - 1)),
+                min_size=1, max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_hilbert3_roundtrip_property(nbits, coords):
+    mask = (1 << nbits) - 1
+    arr = np.array(coords, dtype=np.uint64) & np.uint64(mask)
+    h = hilbert_encode(arr, nbits)
+    assert (hilbert_decode(h, nbits, 3) == arr).all()
+
+
+@given(st.sampled_from(["morton", "hilbert"]),
+       st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255),
+                          st.integers(0, 255)),
+                min_size=1, max_size=100, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_linearizer_injective(curve, coords):
+    lin = Linearizer(nbits=8, curve=curve)
+    keys = {lin.encode(*c) for c in coords}
+    assert len(keys) == len(coords)
+    for c in coords:
+        assert lin.decode(lin.encode(*c)) == c
+
+
+@given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63),
+                          st.integers(0, 63)),
+                min_size=1, max_size=80, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_bsquare_tree_behaves_like_dict(coords):
+    bt = BSquareTree(Linearizer(nbits=6), order=4)
+    model = {}
+    for i, c in enumerate(coords):
+        bt.insert(c, i)
+        model[c] = i
+    assert len(bt) == len(model)
+    for c, v in model.items():
+        assert bt.search(c) == v
+        assert c in bt
+    # Deletion round
+    for c in coords[::2]:
+        assert bt.delete(c) == model.pop(c)
+    assert len(bt) == len(model)
+    assert dict(bt.items()) == model
+
+
+@given(st.lists(st.tuples(st.integers(0, 31), st.integers(0, 31),
+                          st.integers(0, 31)),
+                min_size=2, max_size=60, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_bsquare_items_follow_curve_order(coords):
+    lin = Linearizer(nbits=5, curve="hilbert")
+    bt = BSquareTree(lin, order=4)
+    for c in coords:
+        bt.insert(c, None)
+    listed = [lin.encode(*c) for c, _ in bt.items()]
+    assert listed == sorted(listed)

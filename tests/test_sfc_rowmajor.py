@@ -1,0 +1,69 @@
+"""Tests for the row-major linearization baseline and vectorized decode."""
+
+import numpy as np
+import pytest
+
+from repro.sfc.btwo import Linearizer
+
+
+class TestRowMajor:
+    def test_roundtrip(self):
+        lin = Linearizer(nbits=6, curve="rowmajor")
+        for coord in [(0, 0, 0), (63, 63, 63), (1, 2, 3), (40, 0, 63)]:
+            assert lin.decode(lin.encode(*coord)) == coord
+
+    def test_known_layout(self):
+        lin = Linearizer(nbits=4, curve="rowmajor")
+        # key = x*256 + y*16 + t
+        assert lin.encode(1, 2, 3) == 256 + 32 + 3
+
+    def test_t_axis_is_contiguous(self):
+        lin = Linearizer(nbits=4, curve="rowmajor")
+        keys = [lin.encode(5, 9, t) for t in range(16)]
+        assert keys == list(range(keys[0], keys[0] + 16))
+
+    def test_out_of_range_rejected(self):
+        lin = Linearizer(nbits=4, curve="rowmajor")
+        with pytest.raises(ValueError):
+            lin.encode(16, 0, 0)
+        with pytest.raises(ValueError):
+            lin.encode(0, 0, -1)
+
+    def test_encode_many_matches_scalar(self):
+        lin = Linearizer(nbits=5, curve="rowmajor")
+        rng = np.random.default_rng(0)
+        coords = rng.integers(0, 32, size=(200, 3))
+        keys = lin.encode_many(coords)
+        for c, k in zip(coords.tolist(), keys.tolist()):
+            assert lin.encode(*c) == k
+
+    def test_injective(self):
+        lin = Linearizer(nbits=4, curve="rowmajor")
+        grid = np.stack(np.meshgrid(*[np.arange(16)] * 3, indexing="ij"),
+                        axis=-1).reshape(-1, 3)
+        assert len(np.unique(lin.encode_many(grid))) == 16 ** 3
+
+
+class TestDecodeMany:
+    @pytest.mark.parametrize("curve", ["morton", "hilbert", "rowmajor"])
+    def test_roundtrip_vectorized(self, curve):
+        lin = Linearizer(nbits=5, curve=curve)
+        rng = np.random.default_rng(1)
+        coords = rng.integers(0, 32, size=(300, 3)).astype(np.uint64)
+        keys = lin.encode_many(coords)
+        back = lin.decode_many(keys)
+        assert (back == coords).all()
+
+    @pytest.mark.parametrize("curve", ["morton", "hilbert", "rowmajor"])
+    def test_matches_scalar_decode(self, curve):
+        lin = Linearizer(nbits=4, curve=curve)
+        keys = lin.encode_many(np.array([[1, 2, 3], [0, 15, 7]]))
+        many = lin.decode_many(keys)
+        for k, row in zip(keys.tolist(), many.tolist()):
+            assert lin.decode(int(k)) == tuple(row)
+
+    def test_workload_keyspace_with_rowmajor(self):
+        from repro.workload.keyspace import KeySpace
+
+        ks = KeySpace.from_size(512, curve="rowmajor")
+        assert len(np.unique(ks.all_keys())) == 512

@@ -1,0 +1,100 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+
+
+@pytest.fixture
+def queue():
+    return EventQueue(SimClock())
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self, queue):
+        fired = []
+        queue.schedule(10.0, lambda: fired.append("late"))
+        queue.schedule(5.0, lambda: fired.append("early"))
+        queue.run_until(20.0)
+        assert fired == ["early", "late"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self, queue):
+        fired = []
+        for tag in "abc":
+            queue.schedule(1.0, lambda t=tag: fired.append(t))
+        queue.run_until(1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self, queue):
+        with pytest.raises(ValueError):
+            queue.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_fires_immediately(self, queue):
+        queue.clock.advance(10.0)
+        fired = []
+        queue.schedule_at(5.0, lambda: fired.append(1))
+        queue.run_due()
+        assert fired == [1]
+
+
+class TestRunUntil:
+    def test_clock_advances_to_deadline(self, queue):
+        queue.run_until(7.5)
+        assert queue.clock.now == 7.5
+
+    def test_only_due_events_fire(self, queue):
+        fired = []
+        queue.schedule(5.0, lambda: fired.append("in"))
+        queue.schedule(15.0, lambda: fired.append("out"))
+        count = queue.run_until(10.0)
+        assert count == 1 and fired == ["in"]
+        assert len(queue) == 1
+
+    def test_callback_sees_event_time(self, queue):
+        seen = []
+        queue.schedule(3.0, lambda: seen.append(queue.clock.now))
+        queue.run_until(10.0)
+        assert seen == [3.0]
+
+    def test_event_scheduled_during_run_fires_if_due(self, queue):
+        fired = []
+
+        def chain():
+            fired.append("first")
+            queue.schedule(1.0, lambda: fired.append("second"))
+
+        queue.schedule(2.0, chain)
+        queue.run_until(5.0)
+        assert fired == ["first", "second"]
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_fire(self, queue):
+        fired = []
+        ev = queue.schedule(1.0, lambda: fired.append(1))
+        ev.cancel()
+        queue.run_until(2.0)
+        assert fired == []
+
+    def test_len_excludes_cancelled(self, queue):
+        ev = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert len(queue) == 1
+
+    def test_peek_skips_cancelled(self, queue):
+        first = queue.schedule(1.0, lambda: None, tag="a")
+        queue.schedule(2.0, lambda: None, tag="b")
+        first.cancel()
+        assert queue.peek().tag == "b"
+
+
+class TestDrain:
+    def test_drain_yields_remaining_live_events(self, queue):
+        queue.schedule(1.0, lambda: None, tag="x")
+        ev = queue.schedule(2.0, lambda: None, tag="y")
+        ev.cancel()
+        tags = [e.tag for e in queue.drain()]
+        assert tags == ["x"]
+        assert len(queue) == 0

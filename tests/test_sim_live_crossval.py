@@ -1,0 +1,42 @@
+"""Cross-layer validation: the simulated and live caches agree.
+
+With an infinite window and enough capacity, a query stream's hit/miss
+outcome depends only on "was this key seen before" — independent of
+placement policy.  Replaying one trace through the simulated elastic
+cache and through the live TCP cluster must therefore produce identical
+hit counts, and both must equal ``queries - distinct``.
+"""
+
+from repro.experiments.configs import fig3_params
+from repro.experiments.harness import build_elastic, make_trace, run_trace
+from repro.live.client import LiveClusterClient
+from repro.live.coordinator import LiveCoordinator
+from repro.live.server import LiveCacheServer
+
+
+def test_hit_sequences_agree_across_layers():
+    params = fig3_params("mini")
+    trace = make_trace(params)
+    expected_hits = trace.total_queries - trace.distinct_keys()
+
+    # Simulated layer.
+    sim_bundle = build_elastic(params)
+    sim_metrics = run_trace(sim_bundle, trace)
+    assert sim_metrics.total_hits == expected_hits
+
+    # Live layer: same keys over real sockets.
+    servers = [LiveCacheServer(capacity_bytes=1 << 22).start()
+               for _ in range(2)]
+    try:
+        ring_range = params.cache_config().ring_range
+        with LiveClusterClient([s.address for s in servers],
+                               ring_range=ring_range) as cluster:
+            coordinator = LiveCoordinator(
+                cluster, compute=lambda k: b"derived")
+            for k in trace.keys.tolist():
+                coordinator.query(int(k))
+            assert coordinator.stats.hits == expected_hits
+            assert coordinator.stats.misses == trace.distinct_keys()
+    finally:
+        for s in servers:
+            s.stop()

@@ -1,0 +1,62 @@
+"""Unit tests for the reproducible RNG streams."""
+
+import numpy as np
+
+from repro.sim.rng import RngStreams, stable_key_hash
+
+
+class TestStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(seed=7).get("x").integers(0, 1 << 30, size=10)
+        b = RngStreams(seed=7).get("x").integers(0, 1 << 30, size=10)
+        assert (a == b).all()
+
+    def test_different_names_differ(self):
+        s = RngStreams(seed=7)
+        a = s.get("a").integers(0, 1 << 30, size=10)
+        b = s.get("b").integers(0, 1 << 30, size=10)
+        assert (a != b).any()
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(seed=1).get("x").integers(0, 1 << 30, size=10)
+        b = RngStreams(seed=2).get("x").integers(0, 1 << 30, size=10)
+        assert (a != b).any()
+
+    def test_stream_is_memoized(self):
+        s = RngStreams(seed=0)
+        assert s.get("x") is s.get("x")
+
+    def test_reset_restarts_streams(self):
+        s = RngStreams(seed=3)
+        first = s.get("x").integers(0, 1 << 30, size=5)
+        s.reset()
+        again = s.get("x").integers(0, 1 << 30, size=5)
+        assert (first == again).all()
+
+    def test_fork_is_deterministic_and_distinct(self):
+        parent = RngStreams(seed=9)
+        c1 = parent.fork("child").get("x").integers(0, 1 << 30, size=5)
+        c2 = RngStreams(seed=9).fork("child").get("x").integers(0, 1 << 30, size=5)
+        p = parent.get("x").integers(0, 1 << 30, size=5)
+        assert (c1 == c2).all()
+        assert (c1 != p).any()
+
+
+class TestStableKeyHash:
+    def test_deterministic(self):
+        assert stable_key_hash(12345) == stable_key_hash(12345)
+
+    def test_distinct_inputs_rarely_collide(self):
+        hashes = {stable_key_hash(k) for k in range(10_000)}
+        assert len(hashes) == 10_000  # splitmix64 is a bijection
+
+    def test_output_fits_64_bits(self):
+        for k in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= stable_key_hash(k) < 2**64
+
+    def test_sequential_keys_spread(self):
+        """Adjacent keys should land far apart (load spreading)."""
+        r = 1 << 16
+        positions = [stable_key_hash(k) % r for k in range(100)]
+        gaps = [abs(a - b) for a, b in zip(positions, positions[1:])]
+        assert np.mean(gaps) > r / 16

@@ -1,0 +1,148 @@
+"""Unit tests for the sliding-window decay evictor."""
+
+import pytest
+
+from repro.core.config import EvictionConfig
+from repro.core.sliding_window import SlidingWindowEvictor
+
+
+def make(m=3, alpha=0.5, threshold=None):
+    return SlidingWindowEvictor(
+        EvictionConfig(window_slices=m, alpha=alpha, threshold=threshold)
+    )
+
+
+class TestConfig:
+    def test_infinite_window_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowEvictor(EvictionConfig(window_slices=None))
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            EvictionConfig(window_slices=3, alpha=0.0)
+        with pytest.raises(ValueError):
+            EvictionConfig(window_slices=3, alpha=1.0)
+
+    def test_baseline_threshold(self):
+        cfg = EvictionConfig(window_slices=100, alpha=0.99)
+        assert cfg.effective_threshold == pytest.approx(0.99**99)
+
+    def test_explicit_threshold_wins(self):
+        cfg = EvictionConfig(window_slices=100, alpha=0.99, threshold=0.5)
+        assert cfg.effective_threshold == 0.5
+
+
+class TestWarmup:
+    def test_no_expiry_until_window_full(self):
+        ev = make(m=3)
+        for _ in range(3):
+            ev.record(1)
+            batch = ev.end_slice()
+            assert batch.slice_id == -1
+            assert batch.evicted_keys == []
+
+    def test_window_fill_caps_at_m(self):
+        ev = make(m=3)
+        for _ in range(10):
+            ev.end_slice()
+        assert ev.window_fill() == 3
+
+
+class TestScoring:
+    def test_unreferenced_key_evicted(self):
+        ev = make(m=2)
+        ev.record(7)
+        for _ in range(2):
+            ev.end_slice()
+        batch = ev.end_slice()  # 7's slice expires; 7 nowhere in window
+        assert batch.evicted_keys == [7]
+        assert batch.candidates == 1
+
+    def test_requeried_key_kept_at_baseline(self):
+        ev = make(m=2, alpha=0.9)  # baseline threshold 0.9
+        ev.record(7)
+        ev.end_slice()
+        ev.record(7)  # re-query inside the window
+        ev.end_slice()
+        batch = ev.end_slice()  # first appearance expires
+        assert batch.evicted_keys == []
+        assert batch.kept == 1
+
+    def test_decay_with_fixed_threshold_evicts_old(self):
+        # threshold above alpha^(m-1): old single appearances die.
+        ev = make(m=3, alpha=0.5, threshold=0.4)
+        ev.record(7)
+        ev.end_slice()          # slice 0 closed (7 in it)
+        ev.record(7)
+        ev.end_slice()          # slice 1 closed (7 again)
+        ev.end_slice()          # slice 2 closed (empty)
+        batch = ev.end_slice()  # slice 0 expires; window = {1, 2, 3}
+        # λ(7) = α^(newest- sid=1) = 0.5^2 = 0.25 < 0.4 -> evicted
+        assert batch.evicted_keys == [7]
+
+    def test_multiple_occurrences_accumulate(self):
+        ev = make(m=2, alpha=0.5, threshold=0.9)
+        ev.record(7)
+        ev.end_slice()
+        for _ in range(2):
+            ev.record(7)  # twice in newer slice: λ = 2*0.5 = 1.0 >= 0.9
+        ev.end_slice()
+        batch = ev.end_slice()
+        assert batch.evicted_keys == []
+
+    def test_score_diagnostic(self):
+        ev = make(m=3, alpha=0.5)
+        ev.record(5)
+        ev.end_slice()
+        ev.end_slice()
+        # 5 sits in the older of two closed slices: λ = 0.5^1
+        assert ev.score(5) == pytest.approx(0.5)
+        assert ev.score(999) == 0.0
+
+    def test_candidates_scored_once_per_expiry(self):
+        ev = make(m=1, alpha=0.5)
+        ev.record(1)
+        ev.record(1)
+        ev.record(2)
+        ev.end_slice()
+        batch = ev.end_slice()  # slice with {1:2, 2:1} expires
+        assert batch.candidates == 2
+
+
+class TestBookkeeping:
+    def test_appearance_history_pruned(self):
+        ev = make(m=2)
+        for i in range(20):
+            ev.record(i % 3)
+            ev.end_slice()
+        # Only keys with live appearances are tracked.
+        assert ev.tracked_keys <= 3
+
+    def test_expirations_counted(self):
+        ev = make(m=2)
+        for _ in range(5):
+            ev.end_slice()
+        assert ev.expirations == 3
+
+
+class TestDynamicResize:
+    def test_shrinking_m_expires_multiple_slices(self):
+        ev = make(m=5, alpha=0.9)
+        for i in range(5):
+            ev.record(i)
+            ev.end_slice()
+        assert ev.window_fill() == 5
+        ev.m = 2  # adaptive controller shrinks the window
+        batch = ev.end_slice()
+        assert ev.window_fill() == 2
+        # slices 0..3 expired together; keys 0..3 were candidates
+        assert batch.candidates == 4
+        assert sorted(batch.evicted_keys) == [0, 1, 2, 3]
+
+    def test_growing_m_delays_expiry(self):
+        ev = make(m=2)
+        ev.end_slice()
+        ev.end_slice()
+        ev.m = 4
+        batch = ev.end_slice()  # fill=3 <= 4: nothing expires
+        assert batch.slice_id == -1

@@ -1,0 +1,82 @@
+"""Tests for cache snapshot/restore."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.network import NetworkModel
+from repro.cloud.provider import SimulatedCloud
+from repro.core.snapshot import load_cache, restore_cache, save_cache, snapshot
+from repro.sim.clock import SimClock
+from tests.conftest import make_cache
+
+REC = 100
+
+
+@pytest.fixture
+def grown(cloud, network):
+    cache = make_cache(cloud, network, capacity_bytes=10 * REC, window=5)
+    for k in range(35):
+        cache.record_query(k)
+        cache.put(k, f"v{k}", nbytes=REC)
+    assert cache.node_count >= 3
+    return cache
+
+
+def fresh_cloud():
+    return SimulatedCloud(clock=SimClock(), rng=np.random.default_rng(5),
+                          max_nodes=64)
+
+
+class TestSnapshot:
+    def test_captures_everything(self, grown):
+        snap = snapshot(grown)
+        assert snap.record_count == 35
+        assert len(snap.node_records) == grown.node_count
+        assert len(snap.bucket_map) == len(grown.ring.buckets)
+
+    def test_restore_preserves_contents(self, grown, network):
+        snap = snapshot(grown)
+        restored = restore_cache(snap, cloud=fresh_cloud(), network=network)
+        assert restored.record_count == 35
+        for k in range(35):
+            assert restored.get(k).value == f"v{k}"
+
+    def test_restore_preserves_routing_layout(self, grown, network):
+        snap = snapshot(grown)
+        restored = restore_cache(snap, cloud=fresh_cloud(), network=network)
+        assert restored.ring.buckets == grown.ring.buckets
+        # same key -> same node *index* in both caches
+        for k in range(35):
+            src_idx = grown.nodes.index(grown.ring.node_for_key(k))
+            dst_idx = restored.nodes.index(restored.ring.node_for_key(k))
+            assert src_idx == dst_idx
+
+    def test_restored_cache_keeps_working(self, grown, network):
+        snap = snapshot(grown)
+        restored = restore_cache(snap, cloud=fresh_cloud(), network=network)
+        for k in range(100, 140):
+            restored.put(k, "new", nbytes=REC)
+        restored.check_integrity()
+        assert restored.get(120) is not None
+        assert restored.get(3) is not None  # old records intact
+
+    def test_save_load_roundtrip(self, grown, network, tmp_path):
+        path = tmp_path / "cache.snap"
+        save_cache(grown, path)
+        restored = load_cache(path, cloud=fresh_cloud(), network=network)
+        assert restored.record_count == grown.record_count
+        assert restored.used_bytes == grown.used_bytes
+
+    def test_version_check(self, grown, network):
+        snap = snapshot(grown)
+        snap.version = 99
+        with pytest.raises(ValueError, match="version"):
+            restore_cache(snap, cloud=fresh_cloud(), network=network)
+
+    def test_empty_cache_roundtrip(self, cloud, network, tmp_path):
+        cache = make_cache(cloud, network)
+        path = tmp_path / "empty.snap"
+        save_cache(cache, path)
+        restored = load_cache(path, cloud=fresh_cloud(), network=network)
+        assert restored.record_count == 0
+        assert restored.node_count == 1

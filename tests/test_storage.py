@@ -1,0 +1,94 @@
+"""Unit tests for the storage-tier cost model."""
+
+import pytest
+
+from repro.cloud.storage import (
+    MONTH_SECONDS,
+    STORAGE_TIERS,
+    StoragePlan,
+    StorageTier,
+    compare_tiers,
+)
+
+
+class TestTiers:
+    def test_catalog_has_the_papers_options(self):
+        assert set(STORAGE_TIERS) == {"ram", "ebs", "s3"}
+
+    def test_latency_ordering(self):
+        assert STORAGE_TIERS["ram"].read_latency_s \
+            < STORAGE_TIERS["ebs"].read_latency_s \
+            < STORAGE_TIERS["s3"].read_latency_s
+
+    def test_only_persistent_tiers_cost_capacity(self):
+        for tier in STORAGE_TIERS.values():
+            if tier.persistent:
+                assert tier.gb_month_usd > 0
+            else:
+                assert tier.gb_month_usd == 0
+
+    def test_access_time_includes_transfer(self):
+        tier = STORAGE_TIERS["ebs"]
+        small = tier.access_time(1024)
+        big = tier.access_time(100 * 1024 * 1024)
+        assert big > small
+        assert small >= tier.read_latency_s
+
+    def test_request_cost(self):
+        assert STORAGE_TIERS["s3"].request_cost(1_000_000) == pytest.approx(10.0)
+        assert STORAGE_TIERS["ram"].request_cost(1_000_000) == 0.0
+
+
+class TestPlan:
+    def test_ram_fleet_scales_with_footprint(self):
+        plan = StoragePlan(tier=STORAGE_TIERS["ram"],
+                           footprint_bytes=3_000_000_000,
+                           node_capacity_bytes=1_360_000_000)
+        assert plan.nodes_needed == 3
+
+    def test_persistent_tiers_need_one_node(self):
+        for name in ("ebs", "s3"):
+            plan = StoragePlan(tier=STORAGE_TIERS[name],
+                               footprint_bytes=10_000_000_000)
+            assert plan.nodes_needed == 1
+
+    def test_monthly_cost_components(self):
+        plan = StoragePlan(tier=STORAGE_TIERS["s3"], footprint_bytes=1e9)
+        base = plan.monthly_cost(reads_per_month=0, mean_object_bytes=1024)
+        with_reads = plan.monthly_cost(reads_per_month=10_000_000,
+                                       mean_object_bytes=1024)
+        assert with_reads - base == pytest.approx(100.0)  # $10/M requests
+
+    def test_speedup_monotone_in_hit_rate(self):
+        plan = StoragePlan(tier=STORAGE_TIERS["ram"], footprint_bytes=1e8)
+        s_low = plan.effective_speedup(23.0, 0.3, 1024)
+        s_high = plan.effective_speedup(23.0, 0.95, 1024)
+        assert s_high > s_low > 1.0
+
+    def test_ram_beats_s3_on_speedup(self):
+        ram = StoragePlan(tier=STORAGE_TIERS["ram"], footprint_bytes=1e8)
+        s3 = StoragePlan(tier=STORAGE_TIERS["s3"], footprint_bytes=1e8)
+        assert ram.effective_speedup(23.0, 0.9, 1024) \
+            > s3.effective_speedup(23.0, 0.9, 1024)
+
+
+class TestCompare:
+    def test_rows_for_every_tier(self):
+        rows = compare_tiers(footprint_bytes=int(5e9),
+                             reads_per_month=5_000_000,
+                             mean_object_bytes=1024)
+        assert {r["tier"] for r in rows} == {"ram", "ebs", "s3"}
+
+    def test_the_papers_tradeoff(self):
+        """'The cost varies among the added benefits of data persistence
+        and machine instances with higher bandwidth and memory': for a
+        large footprint, RAM is fastest but needs the biggest fleet;
+        persistent tiers are cheaper to hold but slower to serve."""
+        rows = {r["tier"]: r for r in compare_tiers(
+            footprint_bytes=int(20e9), reads_per_month=1_000_000,
+            mean_object_bytes=1024)}
+        assert rows["ram"]["nodes"] > rows["ebs"]["nodes"]
+        assert rows["ram"]["monthly_usd"] > rows["ebs"]["monthly_usd"]
+        assert rows["ram"]["speedup"] > rows["ebs"]["speedup"] > rows["s3"]["speedup"]
+        assert not rows["ram"]["persistent"]
+        assert rows["s3"]["persistent"]

@@ -1,0 +1,88 @@
+"""Tests for the composed tuned system."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import fig5_params
+from repro.experiments.harness import make_trace
+from repro.extensions.tuned import build_tuned, run_tuned
+
+
+@pytest.fixture(scope="module")
+def tuned_run():
+    params = fig5_params(window_slices=100, scale="mini")
+    trace = make_trace(params)
+    # Budget 600: the cooldown-rate window (600/12 = 50 steps) still fits
+    # inside the 75-step cooldown, so slice expiry — and contraction —
+    # resume after the burst.
+    system = build_tuned(params, spares=1, query_budget=600)
+    metrics = run_tuned(system, trace)
+    return params, system, metrics
+
+
+class TestTunedSystem:
+    def test_all_components_attached(self, tuned_run):
+        _, system, _ = tuned_run
+        assert system.pool.target_spares == 1
+        assert system.prefetch.cache is system.cache
+        assert system.window_controller is not None
+
+    def test_run_completes_consistently(self, tuned_run):
+        params, system, metrics = tuned_run
+        assert metrics.total_queries == params.schedule.total_queries
+        system.cache.check_integrity()
+
+    def test_prefetch_did_background_splits(self, tuned_run):
+        _, system, _ = tuned_run
+        assert len(system.prefetch.presplit_events) > 0
+
+    def test_adaptive_window_moved(self, tuned_run):
+        _, system, _ = tuned_run
+        # mini fig5 starts at m=25; the controller retargets it.
+        assert system.cache.evictor.m != 25
+
+    def test_pool_absorbed_allocations(self, tuned_run):
+        _, system, _ = tuned_run
+        assert system.pool.acquisitions > 0
+        # Inline waits are residual boots at worst; most are ~0.
+        assert system.pool.mean_wait_s < system.cloud.boot_mean_s / 2
+
+    def test_fleet_reaches_steady_state(self, tuned_run):
+        """The adaptive window holds cache footprint ~constant, so the
+        fleet stops growing once the burst's working set is covered —
+        no late-run allocation creep (the m=400 failure mode)."""
+        _, _, metrics = tuned_run
+        nodes = metrics.series("node_count")
+        assert nodes.max() > 1
+        first_at_max = int((nodes == nodes.max()).argmax())
+        assert first_at_max < 0.7 * len(nodes)
+        assert metrics.total_evictions > 0  # the window drains
+
+    def test_no_query_pays_a_full_boot(self, tuned_run):
+        params, system, metrics = tuned_run
+        floor = params.timings.service_time_s + params.timings.miss_overhead_s
+        worst = max(s.mean_latency_s for s in metrics.steps if s.queries)
+        assert worst - floor < system.cloud.boot_mean_s / 2
+
+    def test_deterministic(self):
+        params = fig5_params(window_slices=100, scale="mini", seed=9)
+        trace = make_trace(params)
+        runs = []
+        for _ in range(2):
+            system = build_tuned(params, spares=1, query_budget=1500)
+            metrics = run_tuned(system, trace)
+            runs.append(metrics.summary(23.0))
+        assert runs[0] == runs[1]
+
+    def test_custom_service_respected(self):
+        from repro.services.base import SyntheticService
+
+        params = fig5_params(window_slices=100, scale="mini")
+        system = build_tuned(
+            params,
+            service=SyntheticService(None, service_time_s=1.0))  # type: ignore[arg-type]
+        # service clock must be the system clock to charge time correctly
+        system.coordinator.service.clock = system.clock
+        trace = make_trace(params)
+        metrics = run_tuned(system, trace)
+        assert metrics.total_queries > 0

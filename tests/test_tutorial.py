@@ -1,0 +1,23 @@
+"""Execute every python block in docs/tutorial.md — docs cannot rot."""
+
+import re
+from pathlib import Path
+
+TUTORIAL = Path(__file__).parent.parent / "docs" / "tutorial.md"
+
+
+def test_tutorial_blocks_execute_in_order():
+    text = TUTORIAL.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert len(blocks) >= 5, "tutorial lost its code blocks"
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        try:
+            exec(block, namespace)  # noqa: S102 - executing our own docs
+        except Exception as exc:  # pragma: no cover - failure reporting
+            raise AssertionError(f"tutorial block {i} failed: {exc}") from exc
+
+    # The session reached a working cache that actually elasticized.
+    coordinator = namespace["coordinator"]
+    assert coordinator.metrics.overall_hit_rate > 0.5
+    assert coordinator.metrics.series("node_count").max() > 1

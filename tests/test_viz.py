@@ -1,0 +1,82 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.viz import bar_strip, histogram, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart({"s": [0, 1, 2, 3, 4]}, width=20, height=6)
+        lines = out.splitlines()
+        assert len(lines) == 8  # 6 rows + axis + legend
+        assert "o=s" in lines[-1]
+
+    def test_title(self):
+        out = line_chart({"s": [1, 2]}, title="Fig. X")
+        assert out.splitlines()[0] == "Fig. X"
+
+    def test_rising_series_rises(self):
+        out = line_chart({"s": list(range(50))}, width=25, height=10)
+        rows = [r.split("|", 1)[1] for r in out.splitlines()[:10]]
+        first_col = next(i for i, row in enumerate(rows) if row[0] == "o")
+        last_col = next(i for i, row in enumerate(rows) if row[-1] == "o")
+        assert last_col < first_col  # later values plot higher
+
+    def test_multi_series_distinct_glyphs(self):
+        out = line_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, width=15, height=5)
+        assert "o=a" in out and "x=b" in out
+        assert "x" in out and "o" in out
+
+    def test_log_scale_marks_legend(self):
+        out = line_chart({"s": [1, 10, 100]}, log_y=True)
+        assert "(log y)" in out
+
+    def test_log_scale_clips_nonpositive(self):
+        out = line_chart({"s": [0.0, 1.0, 100.0]}, log_y=True)
+        assert "o" in out  # no crash, still plots
+
+    def test_constant_series(self):
+        out = line_chart({"s": [5, 5, 5]})
+        assert "o" in out
+
+    def test_short_series_resampled_to_width(self):
+        out = line_chart({"s": [1, 2]}, width=30, height=4)
+        plotted = sum(row.count("o") for row in out.splitlines())
+        assert plotted >= 30  # every column gets a mark
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+
+
+class TestBarStrip:
+    def test_render(self):
+        out = bar_strip([0, 1, 2, 3, 4, 4, 4], width=7, title="nodes")
+        assert out.splitlines()[0] == "nodes"
+        assert "peak 4.0" in out
+
+    def test_zero_series(self):
+        out = bar_strip([0, 0, 0])
+        assert "|" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_strip([])
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        out = histogram([1, 1, 2, 5, 5, 5], bins=4)
+        totals = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()]
+        assert sum(totals) == 6
+
+    def test_title_line(self):
+        out = histogram([1, 2, 3], bins=2, title="gaps")
+        assert out.splitlines()[0] == "gaps"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram([])

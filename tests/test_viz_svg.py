@@ -1,0 +1,87 @@
+"""Tests for the SVG figure renderer."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz_svg import _nice_ticks, save_svg, svg_line_chart
+
+
+def parse(doc: str) -> ET.Element:
+    return ET.fromstring(doc)
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] <= 0.0 + 1e-9
+        assert ticks[-1] >= 10.0 - 1e-9
+
+    def test_rounded_steps(self):
+        ticks = _nice_ticks(0.0, 97.0)
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+        step = steps.pop()
+        mantissa = step / (10 ** int(__import__("math").floor(
+            __import__("math").log10(step))))
+        assert round(mantissa, 2) in (1.0, 2.0, 2.5, 5.0, 10.0)
+
+    def test_degenerate_range(self):
+        assert _nice_ticks(5.0, 5.0)  # no crash, some ticks
+
+
+class TestSvgChart:
+    def test_valid_xml(self):
+        doc = svg_line_chart({"a": [1, 2, 3], "b": [3, 2, 1]}, title="T")
+        root = parse(doc)
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self):
+        doc = svg_line_chart({"a": [1, 2], "b": [2, 1], "c": [0, 0]})
+        assert doc.count("<polyline") == 3
+
+    def test_legend_labels_present(self):
+        doc = svg_line_chart({"alpha": [1, 2], "beta": [2, 1]})
+        assert ">alpha</text>" in doc and ">beta</text>" in doc
+
+    def test_log_scale_axis_labels_are_linear_values(self):
+        doc = svg_line_chart({"s": [1, 10, 100, 1000]}, log_y=True,
+                             y_label="speedup")
+        assert "(log)" in doc
+        # tick labels are back-transformed (powers of ten visible)
+        assert re.search(r">1000?</text>|>1e\+?0?3</text>", doc)
+
+    def test_points_within_viewbox(self):
+        doc = svg_line_chart({"s": [5, -3, 12, 0]}, width=400, height=300)
+        for match in re.finditer(r'points="([^"]+)"', doc):
+            for pair in match.group(1).split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= 400 and 0 <= y <= 300
+
+    def test_custom_x_values(self):
+        doc = svg_line_chart({"s": [1, 2, 3]}, x_values=[10, 20, 30])
+        assert ">10</text>" in doc or ">20</text>" in doc
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_line_chart({})
+        with pytest.raises(ValueError):
+            svg_line_chart({"s": []})
+
+    def test_save(self, tmp_path):
+        path = save_svg(svg_line_chart({"s": [1, 2]}), tmp_path / "a" / "c.svg")
+        assert path.exists()
+        parse(path.read_text())
+
+
+class TestExportFigureSvgs:
+    def test_mini_export(self, tmp_path):
+        from repro.viz_svg import export_figure_svgs
+
+        paths = export_figure_svgs(tmp_path, scale34="mini", scale567="mini")
+        names = {p.name for p in paths}
+        assert {"fig3_speedup.svg", "fig5_speedup.svg",
+                "fig7_reuse.svg"}.issubset(names)
+        for p in paths:
+            parse(p.read_text())  # all well-formed

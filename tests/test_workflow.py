@@ -1,0 +1,166 @@
+"""Unit tests for the workflow DAG and cache-aware planner."""
+
+import pytest
+
+from repro.core.config import ExperimentTimings
+from repro.services.base import SyntheticService
+from repro.workflow.dag import ServiceDAG, WorkflowError
+from repro.workflow.planner import CachePlanner
+from tests.conftest import make_cache
+
+
+def build_diamond(clock, service_time=2.0):
+    """a -> (b, c) -> d."""
+    svc = SyntheticService(clock, service_time_s=service_time)
+    dag = ServiceDAG("diamond")
+    dag.add_task("a", svc, key=1)
+    dag.add_task("b", svc, key=2, upstream=["a"])
+    dag.add_task("c", svc, key=3, upstream=["a"])
+    dag.add_task("d", svc, key=4, upstream=["b", "c"],
+                 combine=lambda own, ups: (own, tuple(sorted(map(str, ups)))))
+    return dag, svc
+
+
+class TestDAGStructure:
+    def test_topological_order(self, clock):
+        dag, _ = build_diamond(clock)
+        order = dag.order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_sinks(self, clock):
+        dag, _ = build_diamond(clock)
+        assert dag.sinks() == ["d"]
+
+    def test_duplicate_task_rejected(self, clock):
+        dag, svc = build_diamond(clock)
+        with pytest.raises(WorkflowError):
+            dag.add_task("a", svc, key=9)
+
+    def test_unknown_upstream_rejected(self, clock):
+        svc = SyntheticService(clock)
+        dag = ServiceDAG("w")
+        with pytest.raises(WorkflowError):
+            dag.add_task("x", svc, key=1, upstream=["ghost"])
+
+    def test_cycle_rejected_and_rolled_back(self, clock):
+        svc = SyntheticService(clock)
+        dag = ServiceDAG("w")
+        dag.add_task("a", svc, key=1)
+        # networkx DiGraph can't express a->a via add_task upstream of self
+        with pytest.raises(WorkflowError):
+            dag.add_task("a2", svc, key=2, upstream=["a", "missing"])
+        assert "a2" not in dag.tasks
+
+
+class TestCriticalPath:
+    def test_diamond_path(self, clock):
+        dag, _ = build_diamond(clock, service_time=2.0)
+        # a -> (b | c) -> d: three tasks deep, not four.
+        assert dag.critical_path_time() == pytest.approx(6.0)
+
+    def test_custom_estimator(self, clock):
+        dag, _ = build_diamond(clock)
+        times = {"a": 1.0, "b": 10.0, "c": 2.0, "d": 1.0}
+        assert dag.critical_path_time(
+            lambda t: times[t.name]) == pytest.approx(12.0)
+
+    def test_empty_dag(self, clock):
+        assert ServiceDAG("empty").critical_path_time() == 0.0
+
+    def test_chain_equals_sum(self, clock):
+        svc = SyntheticService(clock, service_time_s=3.0)
+        dag = ServiceDAG("chain")
+        prev = None
+        for i in range(4):
+            dag.add_task(f"t{i}", svc, key=i,
+                         upstream=[prev] if prev else None)
+            prev = f"t{i}"
+        assert dag.critical_path_time() == pytest.approx(12.0)
+
+
+class TestDirectExecution:
+    def test_executes_all_tasks(self, clock):
+        dag, svc = build_diamond(clock)
+        outputs = dag.execute()
+        assert set(outputs) == {"d"}
+        assert svc.invocations == 4
+        assert clock.now == pytest.approx(8.0)
+
+    def test_combine_sees_upstream_payloads(self, clock):
+        dag, _ = build_diamond(clock)
+        outputs = dag.execute()
+        own, ups = outputs["d"]
+        assert own == "derived:4"
+        assert len(ups) == 2
+
+
+class TestCachePlanner:
+    def _planner(self, cloud, network):
+        cache = make_cache(cloud, network, capacity_bytes=1 << 20,
+                           ring_range=1 << 12)
+        planner = CachePlanner(cache, cloud.clock,
+                               timings=ExperimentTimings(hit_overhead_s=0.1),
+                               key_bits=12)
+        return planner, cache
+
+    def test_first_run_all_misses(self, cloud, network):
+        planner, _ = self._planner(cloud, network)
+        dag, _ = build_diamond(cloud.clock)
+        report = planner.run(dag)
+        assert report.tasks_total == 4
+        assert report.tasks_from_cache == 0
+        assert report.reuse_rate == 0.0
+
+    def test_second_run_all_hits(self, cloud, network):
+        planner, _ = self._planner(cloud, network)
+        dag1, _ = build_diamond(cloud.clock)
+        planner.run(dag1)
+        dag2, _ = build_diamond(cloud.clock)
+        report = planner.run(dag2)
+        assert report.tasks_from_cache == 4
+        assert report.reuse_rate == 1.0
+
+    def test_cached_run_is_faster(self, cloud, network):
+        planner, _ = self._planner(cloud, network)
+        dag1, _ = build_diamond(cloud.clock)
+        cold = planner.run(dag1).virtual_seconds
+        dag2, _ = build_diamond(cloud.clock)
+        warm = planner.run(dag2).virtual_seconds
+        assert warm < cold / 5
+
+    def test_partial_overlap_reuses_shared_tasks(self, cloud, network):
+        planner, _ = self._planner(cloud, network)
+        dag1, _ = build_diamond(cloud.clock)
+        planner.run(dag1)
+        # A different workflow sharing task keys 1 and 2.
+        svc = SyntheticService(cloud.clock, service_time_s=2.0)
+        dag2 = ServiceDAG("overlap")
+        dag2.add_task("x", svc, key=1)
+        dag2.add_task("y", svc, key=2, upstream=["x"])
+        dag2.add_task("z", svc, key=99, upstream=["y"])
+        report = planner.run(dag2)
+        assert report.tasks_from_cache == 2
+
+    def test_service_namespacing(self, cloud, network):
+        """Same key on different services must not collide."""
+        planner, _ = self._planner(cloud, network)
+        s1 = SyntheticService(cloud.clock, name="svc-one", service_time_s=1.0)
+        s2 = SyntheticService(cloud.clock, name="svc-two", service_time_s=1.0)
+        dag = ServiceDAG("ns")
+        dag.add_task("a", s1, key=5)
+        dag.add_task("b", s2, key=5)
+        planner.run(dag)
+        assert s1.invocations == 1 and s2.invocations == 1
+        # Re-run: both hit, individually.
+        dag2 = ServiceDAG("ns2")
+        dag2.add_task("a", s1, key=5)
+        dag2.add_task("b", s2, key=5)
+        report = planner.run(dag2)
+        assert report.tasks_from_cache == 2
+
+    def test_outputs_passed_through(self, cloud, network):
+        planner, _ = self._planner(cloud, network)
+        dag, _ = build_diamond(cloud.clock)
+        report = planner.run(dag)
+        assert "d" in report.outputs

@@ -1,0 +1,210 @@
+"""Unit tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import (
+    HotspotPicker,
+    LocalityWalkPicker,
+    UniformPicker,
+    ZipfPicker,
+)
+from repro.workload.generator import QueryWorkload
+from repro.workload.keyspace import KeySpace
+from repro.workload.schedule import Phase, RateSchedule
+from repro.workload.trace import QueryTrace
+
+
+class TestKeySpace:
+    def test_from_size_covers_exactly(self):
+        ks = KeySpace.from_size(4096)
+        assert ks.size == 4096
+        assert ks.nx * ks.ny * ks.nt == 4096
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            KeySpace.from_size(1000)
+
+    def test_keys_are_distinct(self):
+        ks = KeySpace.from_size(4096)
+        keys = ks.all_keys()
+        assert len(np.unique(keys)) == 4096
+
+    def test_hilbert_curve_option(self):
+        ks = KeySpace.from_size(512, curve="hilbert")
+        assert len(np.unique(ks.all_keys())) == 512
+
+    def test_coords_roundtrip_through_linearizer(self):
+        ks = KeySpace.from_size(512)
+        idx = np.arange(ks.size)
+        coords = ks.coords_for(idx)
+        keys = ks.keys_for(idx)
+        for i in (0, 100, 511):
+            assert ks.linearizer.decode(int(keys[i])) == tuple(coords[i])
+
+    def test_out_of_range_index_rejected(self):
+        ks = KeySpace.from_size(64)
+        with pytest.raises(IndexError):
+            ks.keys_for([64])
+        with pytest.raises(IndexError):
+            ks.keys_for([-1])
+
+    def test_extent_vs_linearizer_bits_validated(self):
+        from repro.sfc.btwo import Linearizer
+        with pytest.raises(ValueError):
+            KeySpace(nx=1024, ny=2, nt=2, linearizer=Linearizer(nbits=4))
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = RateSchedule.constant(rate=5, steps=10)
+        assert s.total_steps == 10
+        assert s.total_queries == 50
+        assert all(r == 5 for r in s.rates())
+
+    def test_phased_matches_paper(self):
+        s = RateSchedule.phased()
+        assert s.rate_at(0) == 50
+        assert s.rate_at(99) == 50
+        assert s.rate_at(100) == 250
+        assert s.rate_at(299) == 250
+        assert s.rate_at(300) == 50
+        assert s.total_steps == 600
+        assert s.total_queries == 100 * 50 + 200 * 250 + 300 * 50
+
+    def test_rate_beyond_schedule_raises(self):
+        with pytest.raises(IndexError):
+            RateSchedule.constant(1, 5).rate_at(5)
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            Phase(steps=0, rate=1)
+        with pytest.raises(ValueError):
+            Phase(steps=1, rate=-1)
+        with pytest.raises(ValueError):
+            RateSchedule(phases=())
+
+
+class TestPickers:
+    size = 1000
+
+    def _draw(self, picker, n=5000):
+        return picker.sample(np.random.default_rng(0), n, self.size)
+
+    def test_uniform_in_range_and_spread(self):
+        idx = self._draw(UniformPicker())
+        assert idx.min() >= 0 and idx.max() < self.size
+        assert len(np.unique(idx)) > 900
+
+    def test_zipf_concentrates(self):
+        idx = self._draw(ZipfPicker(s=1.5))
+        top_share = np.bincount(idx, minlength=self.size).max() / len(idx)
+        assert top_share > 0.05  # one key dominates far above uniform 1/1000
+
+    def test_zipf_permutation_scatters_hot_keys(self):
+        a = self._draw(ZipfPicker(s=1.5, perm_seed=1))
+        b = self._draw(ZipfPicker(s=1.5, perm_seed=2))
+        assert np.bincount(a, minlength=self.size).argmax() != \
+            np.bincount(b, minlength=self.size).argmax()
+
+    def test_hotspot_fraction(self):
+        picker = HotspotPicker(hot_fraction=0.8, hot_set_fraction=0.05)
+        idx = self._draw(picker)
+        hot = (idx < self.size * 0.05).mean()
+        assert 0.7 < hot < 0.95
+
+    def test_locality_walk_clusters(self):
+        picker = LocalityWalkPicker(window_fraction=0.02)
+        rng = np.random.default_rng(0)
+        batch = picker.sample(rng, 100, self.size)
+        # all within a 2 % window (mod wraparound)
+        spread = np.ptp(np.sort(batch))
+        assert spread <= self.size  # sanity
+        assert len(np.unique(batch // (self.size // 10))) <= 2 or spread < 100
+
+
+class TestWorkloadAndTrace:
+    def _workload(self, seed=0):
+        return QueryWorkload(
+            keyspace=KeySpace.from_size(512),
+            schedule=RateSchedule.phased(normal=5, intensive=20,
+                                         normal_steps=3, intensive_steps=4,
+                                         cooldown_steps=3),
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_step_batches_follow_schedule(self):
+        batches = list(self._workload().steps())
+        sizes = [len(b) for _, b in batches]
+        assert sizes == [5] * 3 + [20] * 4 + [5] * 3
+
+    def test_total_queries(self):
+        assert self._workload().total_queries == 15 + 80 + 15
+
+    def test_trace_record_replay_identical(self):
+        trace = QueryTrace.record(self._workload())
+        replays = [list(trace.steps()) for _ in range(2)]
+        for (s1, k1), (s2, k2) in zip(*replays):
+            assert s1 == s2
+            assert (k1 == k2).all()
+
+    def test_trace_matches_workload(self):
+        wl1 = self._workload(seed=7)
+        wl2 = self._workload(seed=7)
+        trace = QueryTrace.record(wl1)
+        for (s1, k1), (s2, k2) in zip(trace.steps(), wl2.steps()):
+            assert s1 == s2 and (k1 == k2).all()
+
+    def test_trace_save_load(self, tmp_path):
+        trace = QueryTrace.record(self._workload())
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = QueryTrace.load(path)
+        assert (loaded.keys == trace.keys).all()
+        assert (loaded.step_of == trace.step_of).all()
+
+    def test_poisson_arrivals_fluctuate_around_rate(self):
+        wl = QueryWorkload(
+            keyspace=KeySpace.from_size(512),
+            schedule=RateSchedule.constant(rate=50, steps=200),
+            rng=np.random.default_rng(5),
+            poisson=True,
+        )
+        counts = np.array([len(b) for _, b in wl.steps()])
+        assert counts.std() > 0  # not deterministic
+        assert abs(counts.mean() - 50) < 3  # but centered on R
+        # and a zero-query step is handled (rate 0 forces it)
+        wl0 = QueryWorkload(
+            keyspace=KeySpace.from_size(64),
+            schedule=RateSchedule.constant(rate=0, steps=3),
+            rng=np.random.default_rng(0), poisson=True)
+        assert all(len(b) == 0 for _, b in wl0.steps())
+
+    def test_deterministic_mode_is_exact(self):
+        wl = QueryWorkload(
+            keyspace=KeySpace.from_size(512),
+            schedule=RateSchedule.constant(rate=7, steps=10),
+            rng=np.random.default_rng(5),
+        )
+        assert all(len(b) == 7 for _, b in wl.steps())
+
+    def test_trace_handles_zero_rate_steps(self):
+        wl = QueryWorkload(
+            keyspace=KeySpace.from_size(64),
+            schedule=RateSchedule(phases=(Phase(2, 3), Phase(2, 0), Phase(1, 3))),
+            rng=np.random.default_rng(0),
+        )
+        trace = QueryTrace.record(wl)
+        steps = list(trace.steps())
+        assert [s for s, _ in steps] == [0, 1, 2, 3, 4]
+        assert [len(k) for _, k in steps] == [3, 3, 0, 0, 3]
+
+    def test_empty_trace(self):
+        trace = QueryTrace(step_of=np.empty(0, dtype=np.int64),
+                           keys=np.empty(0, dtype=np.uint64))
+        assert trace.total_queries == 0
+        assert list(trace.steps()) == []
+
+    def test_distinct_keys(self):
+        trace = QueryTrace.record(self._workload())
+        assert 0 < trace.distinct_keys() <= min(110, 512)

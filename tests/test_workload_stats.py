@@ -1,0 +1,122 @@
+"""Unit + cross-validation tests for workload statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.stats import (
+    interarrival_gaps,
+    lru_hit_curve,
+    popularity_profile,
+    reuse_distances,
+)
+
+
+def naive_reuse_distances(keys):
+    """O(n²) reference implementation."""
+    out = []
+    last = {}
+    for i, k in enumerate(keys):
+        if k not in last:
+            out.append(-1)
+        else:
+            out.append(len(set(keys[last[k] + 1:i])))
+        last[k] = i
+    return out
+
+
+class TestReuseDistances:
+    def test_known_sequence(self):
+        assert reuse_distances([1, 2, 1, 1, 3, 2]).tolist() == [-1, -1, 1, 0, -1, 2]
+
+    def test_all_cold(self):
+        assert (reuse_distances([1, 2, 3]) == -1).all()
+
+    def test_immediate_reuse_is_zero(self):
+        assert reuse_distances([5, 5, 5]).tolist() == [-1, 0, 0]
+
+    def test_empty(self):
+        assert reuse_distances([]).shape == (0,)
+
+    @given(st.lists(st.integers(0, 20), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive(self, keys):
+        assert reuse_distances(keys).tolist() == naive_reuse_distances(keys)
+
+
+class TestLRUHitCurve:
+    def test_monotone_in_capacity(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 50, size=2000)
+        d = reuse_distances(keys)
+        curve = lru_hit_curve(d, [1, 5, 10, 25, 50])
+        assert (np.diff(curve) >= 0).all()
+        assert curve[-1] > 0.9  # capacity = keyspace -> only cold misses
+
+    def test_zero_capacity_no_hits(self):
+        keys = [1, 1, 1]
+        assert lru_hit_curve(reuse_distances(keys), [0])[0] == 0.0
+
+    def test_predicts_live_lru_cache(self, cloud, network):
+        """The CDF must match an actual static-1 LRU cache's hit rate."""
+        from repro.core.config import CacheConfig
+        from repro.core.static_cache import StaticCooperativeCache
+
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 40, size=3000).tolist()
+        capacity_records = 12
+        cache = StaticCooperativeCache(
+            cloud=cloud, network=network,
+            config=CacheConfig(ring_range=1 << 10,
+                               node_capacity_bytes=capacity_records * 10),
+            n_nodes=1)
+        hits = 0
+        for k in keys:
+            if cache.get(k) is not None:
+                hits += 1
+            else:
+                cache.put(k, "x", nbytes=10)
+        measured = hits / len(keys)
+        predicted = float(lru_hit_curve(reuse_distances(keys),
+                                        [capacity_records])[0])
+        assert measured == pytest.approx(predicted, abs=1e-9)
+
+
+class TestPopularity:
+    def test_uniform_trace(self):
+        prof = popularity_profile(list(range(100)))
+        assert prof.distinct == 100
+        assert prof.mean_reuse == 1.0
+        assert prof.zipf_exponent == 0.0
+
+    def test_skewed_trace(self):
+        keys = [0] * 100 + [1] * 50 + [2] * 25 + list(range(3, 20))
+        prof = popularity_profile(keys)
+        assert prof.top1_share == pytest.approx(100 / len(keys))
+        assert prof.zipf_exponent > 0.5
+
+    def test_empty(self):
+        prof = popularity_profile([])
+        assert prof.distinct == 0 and prof.total == 0
+
+    def test_zipf_picker_measures_as_zipf(self):
+        from repro.workload.distributions import ZipfPicker
+
+        idx = ZipfPicker(s=1.3).sample(np.random.default_rng(0), 20_000, 500)
+        prof = popularity_profile(idx)
+        assert 0.8 < prof.zipf_exponent < 1.8
+
+
+class TestInterarrival:
+    def test_known_gaps(self):
+        assert interarrival_gaps([1, 2, 1, 2, 2]).tolist() == [2, 2, 1]
+
+    def test_no_reuse_no_gaps(self):
+        assert interarrival_gaps([1, 2, 3]).shape == (0,)
+
+    def test_gap_count_matches_warm_accesses(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 10, size=500)
+        warm = (reuse_distances(keys) >= 0).sum()
+        assert interarrival_gaps(keys).shape[0] == warm
