@@ -2,13 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full figures export svg examples clean
+.PHONY: install test chaos bench bench-full figures export svg examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Fault suites (chaos + property + fuzz), including the slow live tests
+# that tier-1 skips.  REPRO_FAULT_SEED pins the fault lottery.
+chaos:
+	REPRO_FAULT_SEED=20100607 PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),) \
+	$(PYTHON) -m pytest -m "slow or not slow" -q \
+		tests/test_faults_live.py tests/test_faults_properties.py \
+		tests/test_faults_unit.py tests/test_protocol_fuzz.py \
+		tests/test_live_soak.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

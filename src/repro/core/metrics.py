@@ -40,6 +40,12 @@ class StepStats:
     latency_sum_s: float = 0.0
     sim_time_s: float = 0.0
     cost_usd: float = 0.0
+    # fault/availability counters (populated under fault injection)
+    retries: int = 0
+    failovers: int = 0
+    degraded: int = 0
+    recoveries: int = 0
+    recovery_s: float = 0.0
 
     @property
     def mean_latency_s(self) -> float:
@@ -50,6 +56,14 @@ class StepStats:
     def hit_rate(self) -> float:
         """Fraction of this step's queries served from cache."""
         return self.hits / self.queries if self.queries else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of this step's queries served on the fast path (a
+        degraded query fell back to recompute around a dead shard)."""
+        if not self.queries:
+            return 1.0
+        return 1.0 - self.degraded / self.queries
 
 
 class MetricsRecorder:
@@ -68,6 +82,11 @@ class MetricsRecorder:
         self.total_misses = 0
         self.total_evictions = 0
         self.total_latency_s = 0.0
+        self.total_retries = 0
+        self.total_failovers = 0
+        self.total_degraded = 0
+        self.total_recoveries = 0
+        self.total_recovery_s = 0.0
         #: per-query latency log (enabled with ``keep_latencies=True``);
         #: needed for tail percentiles, which step means wash out.
         self.keep_latencies = keep_latencies
@@ -112,6 +131,30 @@ class MetricsRecorder:
     def record_merge(self) -> None:
         """Account one contraction merge."""
         self._current().merges += 1
+
+    # ------------------------------------------------------- fault hooks
+
+    def record_retry(self, count: int = 1) -> None:
+        """Account idempotent-request retries (transport flaps)."""
+        self._current().retries += count
+        self.total_retries += count
+
+    def record_failover(self) -> None:
+        """Account one shard condemned and routed around."""
+        self._current().failovers += 1
+        self.total_failovers += 1
+
+    def record_degraded(self) -> None:
+        """Account one query served by recompute around a dead shard."""
+        self._current().degraded += 1
+        self.total_degraded += 1
+
+    def record_recovery(self, downtime_s: float = 0.0) -> None:
+        """Account one failed shard re-admitted after ``downtime_s``."""
+        self._current().recoveries += 1
+        self._current().recovery_s += downtime_s
+        self.total_recoveries += 1
+        self.total_recovery_s += downtime_s
 
     def end_step(self, *, step: int, node_count: int, used_bytes: int,
                  capacity_bytes: int, sim_time_s: float, cost_usd: float) -> StepStats:
@@ -174,6 +217,16 @@ class MetricsRecorder:
             out.append((elapsed, (q_acc * baseline_s) / t_acc if t_acc else 1.0))
         return out
 
+    def availability_series(self) -> np.ndarray:
+        """Per-step availability (what a fault benchmark plots over time):
+        the fraction of each step's queries that did *not* fall back to
+        degraded-mode recompute.  Steps with no queries count as fully
+        available."""
+        queries = self.series("queries")
+        degraded = self.series("degraded")
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(queries > 0, 1.0 - degraded / queries, 1.0)
+
     def latency_percentiles(self, qs=(50, 90, 99, 100)) -> dict[float, float]:
         """Per-query latency percentiles (requires ``keep_latencies``).
 
@@ -209,7 +262,8 @@ class MetricsRecorder:
         fields = ["step", "queries", "hits", "misses", "evictions",
                   "splits", "allocations", "merges", "node_count",
                   "used_bytes", "capacity_bytes", "latency_sum_s",
-                  "sim_time_s", "cost_usd"]
+                  "sim_time_s", "cost_usd", "retries", "failovers",
+                  "degraded", "recoveries", "recovery_s"]
         lines = [",".join(fields)]
         for s in self.steps:
             lines.append(",".join(
@@ -230,4 +284,10 @@ class MetricsRecorder:
             "mean_nodes": self.mean_node_count(),
             "max_nodes": float(self.series("node_count").max()) if self.steps else 0.0,
             "final_cost_usd": self.steps[-1].cost_usd if self.steps else 0.0,
+            "retries": self.total_retries,
+            "failovers": self.total_failovers,
+            "degraded": self.total_degraded,
+            "recoveries": self.total_recoveries,
+            "availability": (1.0 - self.total_degraded / self.total_queries
+                             if self.total_queries else 1.0),
         }

@@ -1,0 +1,47 @@
+"""Fault injection and failure recovery for the elastic cache.
+
+The paper's cluster ran on real EC2 instances, where node loss and
+transient network faults are routine; this package makes those failures
+*first-class, scriptable inputs* to both execution modes and provides
+the recovery machinery the consumers use to survive them:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`/:class:`FaultEvent`, a
+  declarative fault script shared by the simulator and the live stack.
+* :mod:`repro.faults.simfaults` — :class:`SimFaultInjector` +
+  :class:`FaultyCache`, wiring a plan into the sim's event queue.
+* :mod:`repro.faults.driver` — :class:`LiveFaultDriver`, replaying a
+  plan against real servers and proxies, keyed by query index.
+* :mod:`repro.faults.proxy` — :class:`FaultProxy`, a frame-aware TCP
+  man-in-the-middle that drops/delays/garbles frames and partitions a
+  real server under test.
+* :mod:`repro.faults.retry` — :class:`RetryPolicy` (deadline +
+  exponential backoff + jitter) and :func:`call_with_retry`.
+* :mod:`repro.faults.detector` — :class:`FailureDetector`,
+  consecutive-error health tracking used by the live coordinator.
+
+The design invariant throughout: the cache holds only *derived* results,
+so recompute-on-miss is always a correct fallback — a dead cache node
+may cost latency, never correctness.
+"""
+
+from repro.faults.detector import FailureDetector
+from repro.faults.driver import LiveFaultDriver
+from repro.faults.plan import KINDS, WINDOWED_KINDS, FaultEvent, FaultPlan
+from repro.faults.proxy import FaultProxy
+from repro.faults.retry import RetryPolicy, call_with_retry
+from repro.faults.simfaults import FaultyCache, SimFaultInjector, SimFaultStats
+
+__all__ = [
+    "KINDS",
+    "WINDOWED_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultProxy",
+    "FailureDetector",
+    "FaultyCache",
+    "LiveFaultDriver",
+    "RetryPolicy",
+    "SimFaultInjector",
+    "SimFaultStats",
+    "call_with_retry",
+]

@@ -1,0 +1,93 @@
+"""Failure detection: consecutive-error counting over per-shard health.
+
+The live coordinator cannot tell a slow shard from a dead one by a
+single error — TCP gives the same ``ECONNREFUSED``/reset for a restart
+blip and a real crash.  The classic cure (and what EC2-era systems like
+the paper's used) is a *consecutive-failure threshold*: an address is
+suspected on every transport error, declared **down** only after
+``threshold`` consecutive failures, and absolved by any success.
+
+The detector is deliberately transport-agnostic: callers feed it
+``record_success``/``record_failure`` observations (from live traffic
+and/or explicit pings) and ask ``is_down``.  It also timestamps the
+down-transition so recovery time can be reported as a metric.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Hashable
+
+
+class FailureDetector:
+    """Track per-target health with a consecutive-error threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive failures before a target is declared down.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+
+    Examples
+    --------
+    >>> d = FailureDetector(threshold=2, clock=lambda: 0.0)
+    >>> d.record_failure("a")       # suspected, not yet down
+    False
+    >>> d.record_failure("a")       # threshold crossed
+    True
+    >>> d.is_down("a")
+    True
+    """
+
+    def __init__(self, threshold: int = 2,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.clock = clock
+        self._consecutive: dict[Hashable, int] = {}
+        self._down_since: dict[Hashable, float] = {}
+
+    # ------------------------------------------------------- observations
+
+    def record_success(self, target: Hashable) -> None:
+        """A healthy response: clears the consecutive-failure streak.
+
+        A success does *not* auto-revive a target already declared down —
+        revival is an explicit repair decision (:meth:`mark_recovered`),
+        because the ring may already have routed around it.
+        """
+        self._consecutive[target] = 0
+
+    def record_failure(self, target: Hashable) -> bool:
+        """A failed op or ping; returns ``True`` iff this observation is
+        the one that transitions the target to *down*."""
+        count = self._consecutive.get(target, 0) + 1
+        self._consecutive[target] = count
+        if count >= self.threshold and target not in self._down_since:
+            self._down_since[target] = self.clock()
+            return True
+        return False
+
+    # ------------------------------------------------------------- status
+
+    def is_down(self, target: Hashable) -> bool:
+        """Whether the target is currently declared down."""
+        return target in self._down_since
+
+    def failures(self, target: Hashable) -> int:
+        """Current consecutive-failure streak."""
+        return self._consecutive.get(target, 0)
+
+    @property
+    def down(self) -> list:
+        """Targets currently declared down (stable order)."""
+        return list(self._down_since)
+
+    def mark_recovered(self, target: Hashable) -> float:
+        """Declare the target healthy again; returns its downtime in
+        seconds (0.0 if it was never down)."""
+        self._consecutive[target] = 0
+        since = self._down_since.pop(target, None)
+        return 0.0 if since is None else self.clock() - since

@@ -1,0 +1,109 @@
+"""Apply a fault plan to a *live* cluster (real processes, real sockets).
+
+:class:`LiveFaultDriver` is the live-mode interpreter of
+:class:`~repro.faults.plan.FaultPlan`: the workload loop calls
+:meth:`tick` with the current query index, and due events are turned
+into real actions — killing a :class:`~repro.live.server.LiveCacheServer`,
+restarting one on the same port, or flipping fault knobs on the
+:class:`~repro.faults.proxy.FaultProxy` fronting a node.  ``bench_faults``
+and the chaos suite both drive their kill/recover schedules through this
+class so the scripted timeline lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+class LiveFaultDriver:
+    """Replay a plan against live servers/proxies, keyed by query index.
+
+    Parameters
+    ----------
+    plan:
+        The fault script; ``at`` is a query index.
+    kill:
+        ``kill(node)`` — stop the real server behind slot ``node``.
+    restore:
+        ``restore(node)`` — restart slot ``node`` (same address) and
+        re-admit it; typically wraps
+        :meth:`repro.live.coordinator.LiveCoordinator.check_recovery`.
+    proxies:
+        Optional per-slot :class:`~repro.faults.proxy.FaultProxy` list
+        for the network-level kinds (partition/heal/flaky/lag/garble).
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        *,
+        kill: Callable[[int], None] | None = None,
+        restore: Callable[[int], None] | None = None,
+        proxies: Sequence = (),
+    ) -> None:
+        self.plan = plan
+        self.kill = kill
+        self.restore = restore
+        self.proxies = list(proxies)
+        self.applied: list[FaultEvent] = []
+        # (when, action) pairs closing windowed faults (flaky/lag/...).
+        self._pending: list[tuple[float, Callable[[], None]]] = []
+
+    def _proxy(self, slot: int):
+        if not self.proxies:
+            raise RuntimeError("plan uses network faults but no proxies given")
+        return self.proxies[slot % len(self.proxies)]
+
+    def tick(self, now: float) -> list[FaultEvent]:
+        """Apply every event due at ``now``; returns what was applied.
+
+        Windowed faults (``duration > 0``) are automatically cleared on
+        the first tick at or past their window's end.
+        """
+        still_pending = []
+        for when, action in self._pending:
+            if when <= now:
+                action()
+            else:
+                still_pending.append((when, action))
+        self._pending = still_pending
+        due = self.plan.advance(now)
+        for event in due:
+            self._apply(event)
+        self.applied.extend(due)
+        return due
+
+    def _window(self, event: FaultEvent, clear: Callable[[], None]) -> None:
+        if event.duration:
+            self._pending.append((event.at + event.duration, clear))
+
+    def _apply(self, event: FaultEvent) -> None:
+        kind = event.kind
+        if kind == "crash":
+            if self.kill is None:
+                raise RuntimeError("plan crashes a node but no kill callback")
+            self.kill(event.node)
+        elif kind == "recover":
+            if self.restore is None:
+                raise RuntimeError("plan recovers a node but no restore callback")
+            self.restore(event.node)
+        elif kind == "partition":
+            proxy = self._proxy(event.node)
+            proxy.partition()
+            self._window(event, proxy.heal)
+        elif kind == "heal":
+            self._proxy(event.node).heal()
+        elif kind == "flaky":
+            proxy = self._proxy(event.node)
+            proxy.set_faults(drop_frac=event.drop_frac)
+            self._window(event, lambda p=proxy: p.set_faults(drop_frac=0.0))
+        elif kind == "lag":
+            proxy = self._proxy(event.node)
+            proxy.set_faults(delay_s=event.delay_s)
+            self._window(event, lambda p=proxy: p.set_faults(delay_s=0.0))
+        elif kind == "garble":
+            proxy = self._proxy(event.node)
+            proxy.set_faults(garble_frac=event.garble_frac)
+            self._window(event, lambda p=proxy: p.set_faults(garble_frac=0.0))

@@ -1,0 +1,179 @@
+"""Declarative fault plans — *what* goes wrong and *when*.
+
+A :class:`FaultPlan` is an ordered script of :class:`FaultEvent`\\ s on a
+shared timeline.  The timeline's unit is deliberately abstract: the
+simulator interprets ``at`` as virtual seconds (events are scheduled on
+the :class:`~repro.sim.events.EventQueue`), while the live harness
+interprets it as a query index (the workload driver applies due events
+between queries).  One plan can therefore script both execution modes,
+which is what the chaos suite and ``bench_faults`` rely on.
+
+Fault kinds
+-----------
+``crash``      node ``node`` dies (process loss; its records are gone)
+``recover``    node ``node`` comes back empty and rejoins
+``partition``  node ``node`` is unreachable for ``duration`` (no data loss)
+``heal``       explicitly end a partition on ``node``
+``flaky``      drop a fraction ``drop_frac`` of frames for ``duration``
+``lag``        delay every frame by ``delay_s`` for ``duration``
+``garble``     corrupt a fraction ``garble_frac`` of frames for ``duration``
+
+The windowed kinds (``partition``/``flaky``/``lag``/``garble``) carry a
+``duration``; interpreters are expected to re-arm the clean state when
+the window closes (the sim injector schedules the deactivation event
+itself; :class:`~repro.faults.driver.LiveFaultDriver` does the same with
+query indices).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+KINDS = ("crash", "recover", "partition", "heal", "flaky", "lag", "garble")
+
+#: kinds that describe a window rather than an instant
+WINDOWED_KINDS = ("partition", "flaky", "lag", "garble")
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scripted fault on the plan timeline.
+
+    Events order by ``(at, seq)`` so simultaneous faults apply in the
+    order they were scripted, deterministically.
+    """
+
+    at: float
+    seq: int = 0
+    kind: str = field(compare=False, default="crash")
+    node: int = field(compare=False, default=0)
+    duration: float = field(compare=False, default=0.0)
+    drop_frac: float = field(compare=False, default=0.0)
+    delay_s: float = field(compare=False, default=0.0)
+    garble_frac: float = field(compare=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError(f"fault time {self.at!r} is negative")
+        if self.duration < 0:
+            raise ValueError(f"duration {self.duration!r} is negative")
+        for frac in (self.drop_frac, self.garble_frac):
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError(f"fraction {frac!r} outside [0, 1]")
+
+
+class FaultPlan:
+    """An ordered fault script with a replay cursor.
+
+    Examples
+    --------
+    >>> plan = FaultPlan([FaultEvent(at=5, kind="crash", node=1),
+    ...                   FaultEvent(at=9, kind="recover", node=1)])
+    >>> [e.kind for e in plan.advance(5)]
+    ['crash']
+    >>> [e.kind for e in plan.advance(100)]
+    ['recover']
+    >>> plan.exhausted
+    True
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        numbered = []
+        for i, event in enumerate(events):
+            if event.seq == 0:
+                event = FaultEvent(
+                    at=event.at, seq=i + 1, kind=event.kind, node=event.node,
+                    duration=event.duration, drop_frac=event.drop_frac,
+                    delay_s=event.delay_s, garble_frac=event.garble_frac)
+            numbered.append(event)
+        self.events: list[FaultEvent] = sorted(numbered)
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every event has been consumed by :meth:`advance`."""
+        return self._cursor >= len(self.events)
+
+    def reset(self) -> None:
+        """Rewind the cursor so the plan can be replayed."""
+        self._cursor = 0
+
+    def advance(self, now: float) -> list[FaultEvent]:
+        """Consume and return every un-consumed event with ``at <= now``."""
+        end = bisect.bisect_right(
+            self.events, now, lo=self._cursor,
+            key=lambda e: e.at)  # type: ignore[call-overload]
+        due = self.events[self._cursor:end]
+        self._cursor = end
+        return due
+
+    def schedule(self, queue, apply: Callable[[FaultEvent], None]) -> list:
+        """Wire the plan into a sim :class:`~repro.sim.events.EventQueue`.
+
+        Each fault becomes a scheduled callback ``apply(event)`` at its
+        absolute virtual time; returns the scheduled
+        :class:`~repro.sim.events.Event` handles (cancellable).
+        """
+        return [
+            queue.schedule_at(event.at, lambda e=event: apply(e),
+                              tag=f"fault:{event.kind}")
+            for event in self.events
+        ]
+
+    # --------------------------------------------------------- generators
+
+    @classmethod
+    def kill_and_recover(cls, *, node: int, at: float,
+                         outage: float) -> "FaultPlan":
+        """The canonical kill/recover schedule ``bench_faults`` runs."""
+        return cls([
+            FaultEvent(at=at, kind="crash", node=node),
+            FaultEvent(at=at + outage, kind="recover", node=node),
+        ])
+
+    @classmethod
+    def random(cls, rng, *, horizon: float, nodes: int,
+               n_faults: int = 4,
+               kinds: tuple[str, ...] = ("crash", "partition", "flaky",
+                                         "lag")) -> "FaultPlan":
+        """A random but well-formed plan for property tests.
+
+        Every ``crash`` is paired with a later ``recover`` of the same
+        node, so plans never strand the whole cluster forever; windowed
+        faults get durations within the horizon.  ``rng`` is any object
+        with ``random()``/``randrange()`` (``random.Random`` or a numpy
+        adapter).
+        """
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        events: list[FaultEvent] = []
+        for _ in range(n_faults):
+            kind = kinds[rng.randrange(len(kinds))]
+            at = rng.random() * horizon * 0.8
+            node = rng.randrange(nodes)
+            if kind == "crash":
+                events.append(FaultEvent(at=at, kind="crash", node=node))
+                recover_at = at + 0.05 * horizon + rng.random() * horizon * 0.15
+                events.append(FaultEvent(at=recover_at, kind="recover",
+                                         node=node))
+            elif kind in WINDOWED_KINDS:
+                duration = (0.05 + 0.2 * rng.random()) * horizon
+                events.append(FaultEvent(
+                    at=at, kind=kind, node=node, duration=duration,
+                    drop_frac=0.5 * rng.random() if kind == "flaky" else 0.0,
+                    delay_s=0.01 * rng.random() if kind == "lag" else 0.0,
+                    garble_frac=(0.5 * rng.random()
+                                 if kind == "garble" else 0.0)))
+            else:
+                events.append(FaultEvent(at=at, kind=kind, node=node))
+        return cls(events)

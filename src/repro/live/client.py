@@ -10,10 +10,12 @@ sweep on the source server streamed into ``put``\\ s on the destination.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 
 from repro.core.ring import ConsistentHashRing
+from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.live.protocol import ProtocolError, recv_frame, send_frame
 
 
@@ -21,23 +23,37 @@ class LiveCacheClient:
     """A connection to one cache server (thread-safe via a lock).
 
     Idempotent requests (get/put/delete/ping/stats) transparently
-    reconnect and retry once if the connection drops between requests —
-    a server restart doesn't strand long-lived clients.  Range streams
-    (sweep/extract) never retry: a half-completed ``extract`` has already
-    removed records, so replaying it would lose data silently.
+    reconnect and retry under a configurable
+    :class:`~repro.faults.retry.RetryPolicy` (deadline + exponential
+    backoff + jitter) if the connection drops between requests — a
+    server restart or transient fault doesn't strand long-lived clients.
+    ``put`` is idempotent *here* because the cache stores derived
+    results: replaying ``put(k, v)`` writes the same bytes.  Range
+    streams (sweep/extract) never retry: a half-completed ``extract``
+    has already removed records, so replaying it would lose data
+    silently.
     """
 
-    def __init__(self, address: tuple[str, int], timeout: float = 5.0) -> None:
+    def __init__(self, address: tuple[str, int], timeout: float = 5.0,
+                 retry: RetryPolicy | None = None,
+                 rng: random.Random | None = None) -> None:
         self.address = address
         self.timeout = timeout
-        self._sock = socket.create_connection(address, timeout=timeout)
+        self.retry = retry if retry is not None else RetryPolicy()
+        # Per-address deterministic jitter stream keeps tests reproducible
+        # while still decorrelating distinct clients.
+        self._rng = rng if rng is not None else random.Random(str(address))
+        self._sock: socket.socket | None = socket.create_connection(
+            address, timeout=timeout)
         self._lock = threading.Lock()
         self.reconnects = 0
+        #: idempotent requests re-attempted after a transport failure
+        self.retries = 0
 
     def close(self) -> None:
         """Close the connection."""
         with self._lock:
-            self._sock.close()
+            self._drop_locked()
 
     def __enter__(self) -> "LiveCacheClient":
         return self
@@ -45,26 +61,44 @@ class LiveCacheClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _reconnect_locked(self) -> None:
+    def _drop_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            self._sock = None
+
+    def _ensure_locked(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(self.address,
+                                                  timeout=self.timeout)
+            self.reconnects += 1
+        return self._sock
+
+    def _attempt(self, header: dict, body: bytes) -> tuple[dict, bytes]:
+        sock = self._ensure_locked()
         try:
-            self._sock.close()
-        except OSError:  # pragma: no cover - best effort
-            pass
-        self._sock = socket.create_connection(self.address,
-                                              timeout=self.timeout)
-        self.reconnects += 1
+            send_frame(sock, header, body)
+            return recv_frame(sock)
+        except (ProtocolError, OSError):
+            # The stream is unusable (stale connection, mid-frame loss,
+            # garbled reply): drop it so any retry starts clean.
+            self._drop_locked()
+            raise
+
+    def _note_retry(self, failures: int, exc: BaseException) -> None:
+        self.retries += 1
 
     def _call(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
         with self._lock:
-            try:
-                send_frame(self._sock, header, body)
-                return recv_frame(self._sock)
-            except (ProtocolError, OSError):
-                # Stale connection (server restarted, idle timeout):
-                # reconnect and retry this idempotent request once.
-                self._reconnect_locked()
-                send_frame(self._sock, header, body)
-                return recv_frame(self._sock)
+            return call_with_retry(
+                lambda: self._attempt(header, body),
+                self.retry,
+                retry_on=(ProtocolError, OSError),
+                rng=self._rng,
+                on_retry=self._note_retry,
+            )
 
     def ping(self) -> bool:
         """Liveness check."""
@@ -100,16 +134,27 @@ class LiveCacheClient:
         return bool(reply.get("found")), int(reply.get("freed", 0))
 
     def _ranged(self, op: str, lo: int, hi: int) -> list[tuple[int, bytes]]:
+        # Deliberately NO retry here (regardless of self.retry): replaying
+        # a half-completed extract would silently drop the records the
+        # first attempt already removed from the server.
         with self._lock:
-            send_frame(self._sock, {"op": op, "lo": lo, "hi": hi})
-            reply, _ = recv_frame(self._sock)
-            if not reply.get("ok"):
-                raise ProtocolError(reply.get("error", f"{op} failed"))
-            records = []
-            for _ in range(int(reply["count"])):
-                head, body = recv_frame(self._sock)
-                records.append((int(head["key"]), body))
-            return records
+            sock = self._ensure_locked()
+            try:
+                send_frame(sock, {"op": op, "lo": lo, "hi": hi})
+                reply, _ = recv_frame(sock)
+                if not reply.get("ok"):
+                    raise ProtocolError(reply.get("error", f"{op} failed"))
+                records = []
+                for _ in range(int(reply["count"])):
+                    head, body = recv_frame(sock)
+                    records.append((int(head["key"]), body))
+                return records
+            except (ProtocolError, OSError):
+                # Whether the stream died or the server refused, the
+                # frame cursor may be mid-stream: drop the socket so the
+                # next idempotent call reconnects cleanly.
+                self._drop_locked()
+                raise
 
     def sweep(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
         """Read all records in ``[lo, hi]`` (non-destructive)."""
@@ -144,17 +189,27 @@ class LiveClusterClient:
     """
 
     def __init__(self, addresses: list[tuple[str, int]],
-                 ring_range: int = 1 << 32) -> None:
+                 ring_range: int = 1 << 32,
+                 retry: RetryPolicy | None = None,
+                 timeout: float = 5.0) -> None:
         if not addresses:
             raise ValueError("need at least one server")
         self.ring = ConsistentHashRing(ring_range=ring_range)
+        self.retry = retry
+        self.timeout = timeout
         self.clients: dict[tuple[str, int], LiveCacheClient] = {}
+        #: buckets owned by servers that died, keyed by address — the
+        #: state :meth:`restore_server` needs to undo a failover.
+        self._failed: dict[tuple[str, int], list[int]] = {}
         r = ring_range
         n = len(addresses)
         for i, addr in enumerate(addresses):
-            client = LiveCacheClient(addr)
+            client = self._connect(addr)
             self.clients[addr] = client
             self.ring.add_bucket((i + 1) * r // n - 1, addr)
+
+    def _connect(self, addr: tuple[str, int]) -> LiveCacheClient:
+        return LiveCacheClient(addr, timeout=self.timeout, retry=self.retry)
 
     def close(self) -> None:
         """Close all server connections."""
@@ -169,10 +224,18 @@ class LiveClusterClient:
 
     # ------------------------------------------------------------- routing
 
+    def address_for(self, key: int) -> tuple[str, int]:
+        """The address responsible for ``key`` under ``h(k)``."""
+        return self.ring.node_for_key(key)
+
     def client_for(self, key: int) -> LiveCacheClient:
         """The server responsible for ``key`` under ``h(k)``."""
-        addr = self.ring.node_for_key(key)
-        return self.clients[addr]
+        return self.clients[self.address_for(key)]
+
+    @property
+    def total_retries(self) -> int:
+        """Idempotent-request retries summed over live connections."""
+        return sum(c.retries for c in self.clients.values())
 
     def get(self, key: int) -> bytes | None:
         """Routed fetch."""
@@ -205,7 +268,7 @@ class LiveClusterClient:
         if address in self.clients:
             raise ValueError(f"server {address} already in the cluster")
         old_owner_addr = self.ring.node_for_hkey(bucket)
-        new_client = LiveCacheClient(address)
+        new_client = self._connect(address)
         self.clients[address] = new_client
         self.ring.add_bucket(bucket, address)
 
@@ -261,6 +324,109 @@ class LiveClusterClient:
         del self.clients[address]
         victim.close()
         return moved
+
+    # ------------------------------------------------------------ failover
+
+    def _canonical(self, address: tuple[str, int]) -> tuple[str, int]:
+        """The stored key equal to ``address`` (ring uses identity)."""
+        for known in self.clients:
+            if known == tuple(address):
+                return known
+        raise ValueError(f"server {address} not in the cluster")
+
+    def _successor_owner(self, bucket: int,
+                         exclude: tuple[str, int]) -> tuple[str, int]:
+        """The first bucket owner circularly after ``bucket`` that is not
+        ``exclude`` — where a dead bucket's interval fails over to."""
+        idx = self.ring.buckets.index(bucket)
+        order = self.ring.buckets[idx + 1:] + self.ring.buckets[:idx]
+        for pos in order:
+            owner = self.ring.node_map[pos]
+            if owner != exclude:
+                return owner  # type: ignore[return-value]
+        raise ValueError("no live server left to absorb the dead buckets")
+
+    def fail_server(self, address: tuple[str, int]) -> list[int]:
+        """Ring repair after a node *death* (no data to migrate).
+
+        The failure-time analogue of Algorithm 2's migration: each of the
+        dead server's buckets is re-assigned to its ring successor's
+        owner, and — because the records died with the process — the
+        buckets' load accounting is zeroed rather than transferred.
+        Misses on the reassigned intervals then recompute and repopulate
+        on the survivors.  Returns the repaired bucket positions, which
+        :meth:`restore_server` can later hand back.
+
+        Raises
+        ------
+        ValueError
+            If the address is unknown or no other server is left.
+        """
+        address = self._canonical(address)
+        owned = list(self.ring.buckets_of(address))
+        reassignments = [(b, self._successor_owner(b, address))
+                         for b in owned]
+        for bucket, successor in reassignments:
+            self.ring.clear_load(bucket)
+            self.ring.reassign_bucket(bucket, successor)
+        client = self.clients.pop(address)
+        try:
+            client.close()
+        except OSError:  # pragma: no cover - already dead
+            pass
+        self._failed[address] = owned
+        return owned
+
+    def restore_server(self, address: tuple[str, int]) -> int:
+        """Re-admit a previously failed server (restarted, cold).
+
+        The inverse of :meth:`fail_server`, and once more Algorithm 2 in
+        spirit: for each bucket the dead node used to own, the records
+        recomputed onto the interim owner during the outage are
+        ``extract``-swept off it and streamed back to the restored
+        server, then the bucket is re-assigned home.  Returns the number
+        of records migrated back.
+        """
+        address = tuple(address)  # type: ignore[assignment]
+        if address not in self._failed:
+            raise ValueError(f"server {address} was not failed over")
+        client = self._connect(address)
+        self.clients[address] = client
+        moved = 0
+        for bucket in self._failed[address]:
+            interim_addr = self.ring.node_map[bucket]
+            interim = self.clients[interim_addr]  # type: ignore[index]
+            segments = self.ring.interval_segments(bucket)
+            # A *partitioned* (rather than crashed) server comes back
+            # still holding the records whose accounting fail_server
+            # wrote off.  Drain them: unaccounted residents would break
+            # ring accounting on their first overwrite.  (A crashed
+            # server restarts cold, so this drain is a no-op.)
+            stale: list[tuple[int, bytes]] = []
+            records: list[tuple[int, bytes]] = []
+            for lo, hi in segments:
+                stale.extend(client.extract(lo, hi))
+                records.extend(interim.extract(lo, hi))
+            for key, value in records:
+                self.ring.record_delete(self.ring.hash_key(key), len(value))
+            self.ring.reassign_bucket(bucket, address)
+            # Reinsert through normal routing so each record is
+            # re-accounted at its restored home; survivors' recomputes
+            # win over stale residents (same derived bytes either way).
+            fresh = {key for key, _ in records}
+            for key, value in records:
+                self.put(key, value)
+                moved += 1
+            for key, value in stale:
+                if key not in fresh:
+                    self.put(key, value)
+        del self._failed[address]
+        return moved
+
+    @property
+    def failed_servers(self) -> list[tuple[str, int]]:
+        """Addresses currently failed over (awaiting restore)."""
+        return list(self._failed)
 
     def cluster_stats(self) -> dict:
         """Aggregated per-server stats keyed by ``host:port``."""

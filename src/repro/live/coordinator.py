@@ -11,17 +11,36 @@ A sliding window (the same
 :class:`~repro.core.sliding_window.SlidingWindowEvictor`) drives eviction
 over the wire at slice boundaries, so the elastic *and* contracting
 behaviour of the paper runs against real sockets end to end.
+
+Failure hardening
+-----------------
+The coordinator treats the cluster as EC2 treated the paper's nodes: as
+something that dies.  Transport errors on the query path enter **degraded
+mode** — the result is recomputed (always correct: the cache only holds
+derived bytes) and the shard's health is charged to a
+:class:`~repro.faults.detector.FailureDetector`.  When a shard crosses
+the consecutive-error threshold the coordinator **fails over**: the dead
+server's buckets are re-assigned to their ring successors
+(:meth:`~repro.live.client.LiveClusterClient.fail_server` — the
+failure-time analogue of Algorithm 2's migration) and routing continues
+without it.  :meth:`check_recovery` pings failed addresses and, when one
+answers again (process restarted on the same port), re-admits it and
+migrates the records recomputed during the outage back home.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import socket
+import time
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.config import EvictionConfig
+from repro.core.metrics import MetricsRecorder
 from repro.core.sliding_window import SlidingWindowEvictor
+from repro.faults.detector import FailureDetector
 from repro.live.client import LiveClusterClient
-from repro.live.protocol import ProtocolError
+from repro.live.protocol import ProtocolError, recv_frame, send_frame
 from repro.live.server import LiveCacheServer
 
 
@@ -35,11 +54,25 @@ class LiveQueryStats:
     evicted: int = 0
     grown_servers: int = 0
     migrated_records: int = 0
+    # failure-path counters
+    degraded_queries: int = 0
+    failovers: int = 0
+    recoveries: int = 0
+    recovered_records: int = 0
+    dropped_writes: int = 0
+    downtime_s: float = 0.0
 
     @property
     def hit_rate(self) -> float:
         """Fraction of queries served from the cluster."""
         return self.hits / self.queries if self.queries else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of queries served on the fast (non-degraded) path."""
+        if not self.queries:
+            return 1.0
+        return 1.0 - self.degraded_queries / self.queries
 
 
 class LiveCoordinator:
@@ -51,7 +84,10 @@ class LiveCoordinator:
         The routed cluster client.
     compute:
         ``key -> bytes``: the derived-data computation run on misses
-        (e.g. ``lambda k: service.compute(k)[0]``).
+        (e.g. ``lambda k: service.compute(k)[0]``).  Because results are
+        *derived*, this is also the degraded-mode fallback when a shard
+        is unreachable — a dead cache node costs latency, never
+        correctness.
     spawn_server:
         Zero-arg factory booting a fresh :class:`LiveCacheServer` when an
         overflow demands growth.  ``None`` disables elasticity (overflows
@@ -59,7 +95,21 @@ class LiveCoordinator:
     eviction:
         Optional sliding-window config; slices are closed by
         :meth:`end_slice`.
+    detector:
+        Failure detector; defaults to a 2-consecutive-error threshold.
+    health_every:
+        Ping-based health sweep (plus recovery probe) every N queries;
+        0 disables the in-band sweep — errors and explicit
+        :meth:`health_check` calls still drive detection.
+    metrics:
+        Optional :class:`~repro.core.metrics.MetricsRecorder`; when given,
+        per-query outcomes and fault counters (retries, failovers,
+        degraded queries, recovery times) are recorded so benchmarks can
+        plot availability curves.
     """
+
+    #: transport-level exceptions that trigger degraded mode
+    FAILURES = (ProtocolError, OSError)
 
     def __init__(
         self,
@@ -67,30 +117,79 @@ class LiveCoordinator:
         compute: Callable[[int], bytes],
         spawn_server: Callable[[], LiveCacheServer] | None = None,
         eviction: EvictionConfig | None = None,
+        detector: FailureDetector | None = None,
+        health_every: int = 0,
+        metrics: MetricsRecorder | None = None,
     ) -> None:
         self.cluster = cluster
         self.compute = compute
         self.spawn_server = spawn_server
         self.evictor = (SlidingWindowEvictor(eviction)
                         if eviction is not None and eviction.enabled else None)
+        self.detector = detector if detector is not None else FailureDetector()
+        self.health_every = health_every
+        self.metrics = metrics
         self.stats = LiveQueryStats()
         self.spawned: list[LiveCacheServer] = []
+        self._down_since: dict[tuple[str, int], float] = {}
 
     # ------------------------------------------------------------- queries
 
     def query(self, key: int) -> bytes:
-        """Serve one request, computing and caching on miss."""
+        """Serve one request, computing and caching on miss.
+
+        Never raises on shard loss: transport failures degrade to
+        recompute, and the failing shard is routed around once the
+        failure detector condemns it.
+        """
+        if (self.health_every and self.stats.queries
+                and self.stats.queries % self.health_every == 0):
+            self.health_check()
         self.stats.queries += 1
+        t0 = time.perf_counter()
         if self.evictor is not None:
             self.evictor.record(key)
-        cached = self.cluster.get(key)
+        addr = self.cluster.address_for(key)
+        try:
+            cached = self.cluster.get(key)
+        except self.FAILURES:
+            return self._query_degraded(key, addr, t0)
+        self.detector.record_success(addr)
         if cached is not None:
             self.stats.hits += 1
+            self._note_query(hit=True, t0=t0)
             return cached
         self.stats.misses += 1
         value = self.compute(key)
         self._put_with_growth(key, value)
+        self._note_query(hit=False, t0=t0)
         return value
+
+    def _query_degraded(self, key: int, addr: tuple[str, int],
+                        t0: float) -> bytes:
+        """The slow-but-correct path: shard unreachable, recompute."""
+        self.stats.degraded_queries += 1
+        self.stats.misses += 1
+        if self.metrics is not None:
+            self.metrics.record_degraded()
+        self.detector.record_failure(addr)
+        if self.detector.is_down(addr):
+            self._fail_over(addr)
+        value = self.compute(key)
+        try:
+            # After a repair this routes to the surviving owner and
+            # repopulates; before one it may fail again — that's fine,
+            # the computed value is already in hand.
+            self._put_with_growth(key, value)
+        except self.FAILURES:
+            self.stats.dropped_writes += 1
+        self._note_query(hit=False, t0=t0)
+        return value
+
+    def _note_query(self, *, hit: bool, t0: float) -> None:
+        if self.metrics is not None:
+            self.metrics.record_query(hit=hit,
+                                      latency_s=time.perf_counter() - t0)
 
     def _put_with_growth(self, key: int, value: bytes, max_growths: int = 4) -> None:
         for _ in range(max_growths):
@@ -118,6 +217,78 @@ class LiveCoordinator:
         moved = self.cluster.add_server(server.address, split)
         self.stats.grown_servers += 1
         self.stats.migrated_records += moved
+
+    # ------------------------------------------------------------ failures
+
+    def _fail_over(self, addr: tuple[str, int]) -> bool:
+        """Repair the ring around a condemned shard; True on success."""
+        if addr not in self.cluster.clients:
+            return False  # already repaired (or never admitted)
+        try:
+            self.cluster.fail_server(addr)
+        except ValueError:
+            # Last server standing: nothing to route to; stay degraded
+            # (every query recomputes) until it comes back.
+            return False
+        self.stats.failovers += 1
+        self._down_since[addr] = time.perf_counter()
+        if self.metrics is not None:
+            self.metrics.record_failover()
+        return True
+
+    def health_check(self) -> list[tuple[str, int]]:
+        """Ping every live shard, fail over the ones past threshold, and
+        probe failed shards for recovery.  Returns newly condemned
+        addresses."""
+        condemned: list[tuple[str, int]] = []
+        for addr, client in list(self.cluster.clients.items()):
+            try:
+                client.ping()
+            except self.FAILURES:
+                self.detector.record_failure(addr)
+                if self.detector.is_down(addr) and self._fail_over(addr):
+                    condemned.append(addr)
+            else:
+                self.detector.record_success(addr)
+        self.check_recovery()
+        return condemned
+
+    @staticmethod
+    def _probe(addr: tuple[str, int], timeout: float = 0.5) -> bool:
+        """One raw connect+ping, no retry — is anything listening?"""
+        try:
+            with socket.create_connection(tuple(addr), timeout=timeout) as s:
+                send_frame(s, {"op": "ping"})
+                reply, _ = recv_frame(s)
+                return bool(reply.get("pong"))
+        except (ProtocolError, OSError):
+            return False
+
+    def check_recovery(self) -> list[tuple[str, int]]:
+        """Probe failed-over addresses; re-admit any that answer again.
+
+        Re-admission migrates the records recomputed during the outage
+        from the interim owners back to the restored server
+        (:meth:`~repro.live.client.LiveClusterClient.restore_server`),
+        so the ring heals without manual intervention.  Returns the
+        recovered addresses.
+        """
+        recovered: list[tuple[str, int]] = []
+        for addr in list(self.cluster.failed_servers):
+            if not self._probe(addr):
+                continue
+            moved = self.cluster.restore_server(addr)
+            self.detector.mark_recovered(addr)
+            self.stats.recoveries += 1
+            self.stats.recovered_records += moved
+            downtime = 0.0
+            if addr in self._down_since:
+                downtime = time.perf_counter() - self._down_since.pop(addr)
+                self.stats.downtime_s += downtime
+            if self.metrics is not None:
+                self.metrics.record_recovery(downtime)
+            recovered.append(addr)
+        return recovered
 
     # -------------------------------------------------------------- slices
 

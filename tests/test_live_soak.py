@@ -2,8 +2,12 @@
 
 import threading
 
+import pytest
+
 from repro.live.client import LiveCacheClient, LiveClusterClient
 from repro.live.server import LiveCacheServer
+
+pytestmark = pytest.mark.slow  # long-running: tier-1 skips, `make chaos` runs
 
 
 def test_concurrent_clients_against_cluster():

@@ -1,0 +1,174 @@
+"""Protocol fuzzing against ``LiveCacheServer`` (satellite of the fault
+subsystem).
+
+The server's contract for malformed input: answer ``{"ok": false}`` when
+the frame parses but the request is bad, close the session cleanly when
+the frame itself is garbage — and in neither case wedge the accept loop.
+Every scenario ends by proving a *fresh* client still gets served.
+"""
+
+import socket
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.live.client import LiveCacheClient
+from repro.live.protocol import (MAX_BODY_BYTES, MAX_HEADER_BYTES,
+                                 ProtocolError, recv_frame, send_frame)
+from repro.live.server import LiveCacheServer
+
+TIMEOUT = 2.0  # a wedged server surfaces as socket.timeout, not a hang
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = LiveCacheServer(capacity_bytes=1 << 20).start()
+    yield srv
+    srv.stop()
+
+
+def raw_connect(server) -> socket.socket:
+    sock = socket.create_connection(server.address, timeout=TIMEOUT)
+    return sock
+
+
+def assert_still_serving(server) -> None:
+    """The accept loop survived: a fresh client round-trips."""
+    with LiveCacheClient(server.address, timeout=TIMEOUT) as client:
+        assert client.ping()
+        client.put(999, b"alive")
+        assert client.get(999) == b"alive"
+
+
+def expect_closed(sock: socket.socket) -> None:
+    """The server must end the session: EOF (or reset), not silence."""
+    try:
+        data = sock.recv(1)
+    except ConnectionError:
+        data = b""
+    assert data == b"", f"server kept the session open, sent {data!r}"
+
+
+# ----------------------------------------------------- malformed framing
+
+
+def test_truncated_header(server):
+    with raw_connect(server) as sock:
+        sock.sendall(struct.pack(">I", 50) + b'{"op":')  # promises 50 B
+        sock.shutdown(socket.SHUT_WR)
+        expect_closed(sock)
+    assert_still_serving(server)
+
+
+def test_oversized_declared_header(server):
+    with raw_connect(server) as sock:
+        sock.sendall(struct.pack(">I", MAX_HEADER_BYTES + 1))
+        expect_closed(sock)
+    assert_still_serving(server)
+
+
+def test_oversized_declared_body(server):
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "put", "key": 1,
+                          "body": MAX_BODY_BYTES + 1})
+        expect_closed(sock)
+    assert_still_serving(server)
+
+
+def test_negative_declared_body(server):
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "put", "key": 1, "body": -5})
+        expect_closed(sock)
+    assert_still_serving(server)
+
+
+def test_invalid_header_json(server):
+    with raw_connect(server) as sock:
+        raw = b"{not json at all"
+        sock.sendall(struct.pack(">I", len(raw)) + raw)
+        expect_closed(sock)
+    assert_still_serving(server)
+
+
+def test_non_object_header(server):
+    with raw_connect(server) as sock:
+        raw = b"[1,2,3]"
+        sock.sendall(struct.pack(">I", len(raw)) + raw)
+        expect_closed(sock)
+    assert_still_serving(server)
+
+
+# ----------------------------------- parsable frames with bad requests
+
+
+def test_missing_fields_answer_ok_false(server):
+    """``{"op": "get"}`` without a key: error reply, session stays up."""
+    with raw_connect(server) as sock:
+        for bad in ({"op": "get"}, {"op": "put"}, {"op": "sweep", "lo": 0},
+                    {"op": "get", "key": "not-an-int"}, {}):
+            send_frame(sock, bad)
+            header, _ = recv_frame(sock)
+            assert header["ok"] is False
+            assert "error" in header
+        # the same session still serves good requests afterwards
+        send_frame(sock, {"op": "ping"})
+        header, _ = recv_frame(sock)
+        assert header == {"ok": True, "pong": True}
+    assert_still_serving(server)
+
+
+def test_unknown_op_answers_ok_false(server):
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "explode"})
+        header, _ = recv_frame(sock)
+        assert header["ok"] is False
+        assert "unknown op" in header["error"]
+    assert_still_serving(server)
+
+
+def test_abrupt_disconnect_mid_body(server):
+    """Close after the header but before the promised body bytes."""
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "put", "key": 7, "body": 1000})
+        sock.sendall(b"short")  # 5 of the promised 1000 bytes
+    assert_still_serving(server)
+
+
+# ------------------------------------------------------- random garbage
+
+
+@given(garbage=st.binary(min_size=1, max_size=256))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_random_garbage_never_wedges(server, garbage):
+    """Arbitrary bytes: the server either parses and errors, or closes.
+    It never leaves the accept loop unable to serve the next client."""
+    with raw_connect(server) as sock:
+        try:
+            sock.sendall(garbage)
+            sock.shutdown(socket.SHUT_WR)  # EOF: pending reads terminate
+        except OSError:
+            pass  # server already slammed the door — that's a clean close
+        try:
+            while True:
+                header, _ = recv_frame(sock)
+                # if the bytes happened to parse, replies must be framed
+                assert isinstance(header, dict)
+        except (ProtocolError, ConnectionError, TimeoutError):
+            pass  # clean close (or reset) is the expected outcome
+    assert_still_serving(server)
+
+
+def test_many_garbage_sessions_then_real_load(server):
+    """A burst of abusive sessions followed by real traffic."""
+    for i in range(20):
+        with raw_connect(server) as sock:
+            sock.sendall(struct.pack(">I", (i * 2654435761) % (1 << 24)))
+            sock.shutdown(socket.SHUT_WR)
+    with LiveCacheClient(server.address, timeout=TIMEOUT) as client:
+        for key in range(50):
+            client.put(key, f"v{key}".encode())
+        for key in range(50):
+            assert client.get(key) == f"v{key}".encode()
