@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-full figures export svg examples clean
+.PHONY: install test chaos overload bench bench-full figures export svg examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,14 @@ chaos:
 		tests/test_faults_live.py tests/test_faults_properties.py \
 		tests/test_faults_unit.py tests/test_protocol_fuzz.py \
 		tests/test_live_soak.py
+
+# Overload suite: admission-control/deadline/two-phase unit + wire
+# tests, plus the 1x/2x/4x offered-load benchmark (slow-marked, so it
+# needs the explicit -m).  REPRO_FAULT_SEED pins the workload.
+overload:
+	REPRO_FAULT_SEED=20100607 PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),) \
+	$(PYTHON) -m pytest -m "slow or not slow" -q \
+		tests/test_overload.py benchmarks/bench_overload.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -169,10 +169,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.live.server import LiveCacheServer
 
     server = LiveCacheServer(host=args.host, port=args.port,
-                             capacity_bytes=args.capacity).start()
+                             capacity_bytes=args.capacity,
+                             max_workers=args.max_workers,
+                             max_queue=args.max_queue).start()
     host, port = server.address
     print(f"cache server listening on {host}:{port} "
-          f"(capacity {args.capacity} B); Ctrl-C to stop")
+          f"(capacity {args.capacity} B, {args.max_workers} workers, "
+          f"queue {args.max_queue}); Ctrl-C to stop")
     stop = threading.Event()
     if args.run_seconds is not None:  # test hook: bounded lifetime
         stop.wait(args.run_seconds)
@@ -286,6 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="0 picks an ephemeral port")
     p_serve.add_argument("--capacity", type=int, default=1 << 28,
                          help="cache capacity in bytes")
+    p_serve.add_argument("--max-workers", type=int, default=16,
+                         help="concurrent ops before requests queue")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="queued ops before requests are shed")
     p_serve.add_argument("--run-seconds", type=float, default=None,
                          help=argparse.SUPPRESS)  # test hook
     p_serve.set_defaults(func=_cmd_serve)

@@ -152,10 +152,11 @@ class GreedyBucketAllocator:
         move_count = (total + 1) // 2
         split_hkey = self._kth_hkey_in(node, segments, move_count - 1)
 
-        # Preview the victim set *without* mutating, then pick (or
-        # allocate) the destination.  Destination selection is the only
-        # step that can fail (quota, capacity); doing it first keeps the
-        # cache consistent when it does.
+        # Phase 1 (prepare): snapshot the victim set *without* mutating —
+        # this is the sim mirror of the live protocol's extract_prepare
+        # (records retained at the source until the copy lands).  It also
+        # means destination selection, the only step that can fail
+        # (quota, capacity), runs against an unmodified cache.
         degenerate = split_hkey == b_max
         preview: list[CacheRecord] = []
         pending_follows = False
@@ -177,31 +178,45 @@ class GreedyBucketAllocator:
             required += pending.nbytes
         dest, alloc_s = self._choose_destination(node, required)
 
-        victims: list[CacheRecord] = []
-        if degenerate:
-            # Degenerate split (single-record bucket at the bucket position):
-            # reassign the entire bucket instead of inserting a duplicate.
-            for lo, hi in segments:
-                victims.extend(node.extract_range(lo, hi))
-            self.ring.reassign_bucket(b_max, dest)
-            new_bucket: int | None = None
-        else:
-            # Take segments in circular order up to and including k^μ.
-            for lo, hi in segments:
-                if lo <= split_hkey <= hi:
-                    victims.extend(node.extract_range(lo, split_hkey))
-                    break
-                victims.extend(node.extract_range(lo, hi))
-            new_bucket = split_hkey
-            self.ring.add_bucket(new_bucket, dest)
-            moved_bytes = sum(r.nbytes for r in victims)
-            self.ring.transfer_load(b_max, new_bucket, moved_bytes, len(victims))
-
+        # Phase 2 (copy): the snapshot *is* the victim set — stream it to
+        # the destination while the source still holds every record.  A
+        # crash between here and the commit below leaves duplicates
+        # (resolved idempotently: derived results overwrite in place),
+        # never loss — the same invariant the live cluster's two-phase
+        # extract_prepare/extract_commit migration provides.
+        victims: list[CacheRecord] = preview
         bytes_moved = sum(r.nbytes for r in victims)
         migration_s = self.network.transfer_time(bytes_moved, len(victims))
         self.clock.advance(migration_s)
         for rec in victims:
             dest.insert(rec)
+
+        # Phase 3 (commit): flip routing to the destination, then delete
+        # the source copies.
+        if degenerate:
+            # Degenerate split (single-record bucket at the bucket position):
+            # reassign the entire bucket instead of inserting a duplicate.
+            self.ring.reassign_bucket(b_max, dest)
+            removed = 0
+            for lo, hi in segments:
+                removed += len(node.extract_range(lo, hi))
+            new_bucket: int | None = None
+        else:
+            new_bucket = split_hkey
+            self.ring.add_bucket(new_bucket, dest)
+            self.ring.transfer_load(b_max, new_bucket, bytes_moved,
+                                    len(victims))
+            # Take segments in circular order up to and including k^μ.
+            removed = 0
+            for lo, hi in segments:
+                if lo <= split_hkey <= hi:
+                    removed += len(node.extract_range(lo, split_hkey))
+                    break
+                removed += len(node.extract_range(lo, hi))
+        assert removed == len(victims), (
+            f"split commit removed {removed} records from {node.node_id} "
+            f"but copied {len(victims)}"
+        )
 
         event = SplitEvent(
             step=self.clock.step,

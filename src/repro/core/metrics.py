@@ -46,6 +46,19 @@ class StepStats:
     degraded: int = 0
     recoveries: int = 0
     recovery_s: float = 0.0
+    # overload-protection counters (populated under load shedding)
+    shed: int = 0                #: requests shed by overloaded servers
+    shed_background: int = 0     #: background requests dropped outright
+    deadline_misses: int = 0     #: requests whose deadline budget expired
+    breaker_fastfails: int = 0   #: requests short-circuited by open breakers
+    queue_depth: int = 0         #: peak admission-queue depth observed
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of this step's queries shed by overload protection."""
+        if not self.queries:
+            return 0.0
+        return (self.shed + self.shed_background) / self.queries
 
     @property
     def mean_latency_s(self) -> float:
@@ -87,6 +100,10 @@ class MetricsRecorder:
         self.total_degraded = 0
         self.total_recoveries = 0
         self.total_recovery_s = 0.0
+        self.total_shed = 0
+        self.total_shed_background = 0
+        self.total_deadline_misses = 0
+        self.total_breaker_fastfails = 0
         #: per-query latency log (enabled with ``keep_latencies=True``);
         #: needed for tail percentiles, which step means wash out.
         self.keep_latencies = keep_latencies
@@ -155,6 +172,33 @@ class MetricsRecorder:
         self._current().recovery_s += downtime_s
         self.total_recoveries += 1
         self.total_recovery_s += downtime_s
+
+    # ---------------------------------------------------- overload hooks
+
+    def record_shed(self, background: bool = False) -> None:
+        """Account one request shed by overload protection (a server's
+        admission queue was full, or a degraded-mode background drop)."""
+        if background:
+            self._current().shed_background += 1
+            self.total_shed_background += 1
+        else:
+            self._current().shed += 1
+            self.total_shed += 1
+
+    def record_deadline_miss(self) -> None:
+        """Account one request whose deadline budget expired."""
+        self._current().deadline_misses += 1
+        self.total_deadline_misses += 1
+
+    def record_breaker_fastfail(self) -> None:
+        """Account one request short-circuited by an open breaker."""
+        self._current().breaker_fastfails += 1
+        self.total_breaker_fastfails += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Track the peak admission-queue depth seen this step."""
+        s = self._current()
+        s.queue_depth = max(s.queue_depth, depth)
 
     def end_step(self, *, step: int, node_count: int, used_bytes: int,
                  capacity_bytes: int, sim_time_s: float, cost_usd: float) -> StepStats:
@@ -263,7 +307,9 @@ class MetricsRecorder:
                   "splits", "allocations", "merges", "node_count",
                   "used_bytes", "capacity_bytes", "latency_sum_s",
                   "sim_time_s", "cost_usd", "retries", "failovers",
-                  "degraded", "recoveries", "recovery_s"]
+                  "degraded", "recoveries", "recovery_s", "shed",
+                  "shed_background", "deadline_misses",
+                  "breaker_fastfails", "queue_depth"]
         lines = [",".join(fields)]
         for s in self.steps:
             lines.append(",".join(
@@ -290,4 +336,10 @@ class MetricsRecorder:
             "recoveries": self.total_recoveries,
             "availability": (1.0 - self.total_degraded / self.total_queries
                              if self.total_queries else 1.0),
+            "shed": self.total_shed,
+            "shed_background": self.total_shed_background,
+            "deadline_misses": self.total_deadline_misses,
+            "breaker_fastfails": self.total_breaker_fastfails,
+            "shed_rate": ((self.total_shed + self.total_shed_background)
+                          / self.total_queries if self.total_queries else 0.0),
         }

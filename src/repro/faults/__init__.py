@@ -18,12 +18,16 @@ the recovery machinery the consumers use to survive them:
   exponential backoff + jitter) and :func:`call_with_retry`.
 * :mod:`repro.faults.detector` — :class:`FailureDetector`,
   consecutive-error health tracking used by the live coordinator.
+* :mod:`repro.faults.breaker` — :class:`CircuitBreaker`, the
+  closed/open/half-open fast-fail gate layered on the detector so a
+  condemned shard stops costing a connect timeout per query.
 
 The design invariant throughout: the cache holds only *derived* results,
 so recompute-on-miss is always a correct fallback — a dead cache node
 may cost latency, never correctness.
 """
 
+from repro.faults.breaker import CircuitBreaker
 from repro.faults.detector import FailureDetector
 from repro.faults.driver import LiveFaultDriver
 from repro.faults.plan import KINDS, WINDOWED_KINDS, FaultEvent, FaultPlan
@@ -34,6 +38,7 @@ from repro.faults.simfaults import FaultyCache, SimFaultInjector, SimFaultStats
 __all__ = [
     "KINDS",
     "WINDOWED_KINDS",
+    "CircuitBreaker",
     "FaultEvent",
     "FaultPlan",
     "FaultProxy",

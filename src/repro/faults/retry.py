@@ -84,6 +84,7 @@ def call_with_retry(
     policy: RetryPolicy,
     *,
     retry_on: tuple[type[BaseException], ...] | Iterable = (OSError,),
+    give_up_on: tuple[type[BaseException], ...] | Iterable = (),
     rng=None,
     clock: Callable[[], float] = time.monotonic,
     sleep: Callable[[float], None] = time.sleep,
@@ -94,13 +95,19 @@ def call_with_retry(
     ``clock`` and ``sleep`` are injectable so tests (and the simulator)
     can retry in virtual time.  ``on_retry(failures, exc)`` fires once
     per *scheduled* retry — i.e. never for the final, abandoned failure.
+    ``give_up_on`` lists exceptions that propagate immediately even when
+    they are subclasses of a ``retry_on`` entry — e.g. an exhausted
+    per-op deadline, where another attempt can only fail the same way.
     """
     retry_on = tuple(retry_on)
+    give_up_on = tuple(give_up_on)
     t0 = clock()
     failures = 0
     while True:
         try:
             return fn()
+        except give_up_on:
+            raise
         except retry_on as exc:
             failures += 1
             if failures >= policy.max_attempts:

@@ -4,8 +4,14 @@
 is the cooperative view: it owns a
 :class:`~repro.core.ring.ConsistentHashRing` whose "nodes" are server
 addresses, routes every key through ``h(k)``, and grows the cluster with
-the same interval-migration that Algorithm 2 performs — an ``extract``
-sweep on the source server streamed into ``put``\\ s on the destination.
+the same interval-migration that Algorithm 2 performs — now via the
+loss-proof two-phase ``extract_prepare``/``extract_commit`` protocol
+(:mod:`repro.live.migration`) instead of a destructive extract.
+
+Deadline propagation: every single-server op accepts ``deadline_ms``, a
+remaining time budget forwarded on the wire so the server can refuse
+work the caller has already abandoned.  The budget also caps the
+client's own retry loop: no retry is scheduled past the deadline.
 """
 
 from __future__ import annotations
@@ -13,25 +19,32 @@ from __future__ import annotations
 import random
 import socket
 import threading
+import time
 
 from repro.core.ring import ConsistentHashRing
 from repro.faults.retry import RetryPolicy, call_with_retry
-from repro.live.protocol import ProtocolError, recv_frame, send_frame
+from repro.live.migration import migrate_range
+from repro.live.protocol import (DeadlineError, OverloadedError,
+                                 ProtocolError, error_from_reply, recv_frame,
+                                 send_frame)
 
 
 class LiveCacheClient:
     """A connection to one cache server (thread-safe via a lock).
 
-    Idempotent requests (get/put/delete/ping/stats) transparently
-    reconnect and retry under a configurable
+    Requests transparently reconnect and retry under a configurable
     :class:`~repro.faults.retry.RetryPolicy` (deadline + exponential
     backoff + jitter) if the connection drops between requests — a
     server restart or transient fault doesn't strand long-lived clients.
     ``put`` is idempotent *here* because the cache stores derived
-    results: replaying ``put(k, v)`` writes the same bytes.  Range
-    streams (sweep/extract) never retry: a half-completed ``extract``
-    has already removed records, so replaying it would lose data
-    silently.
+    results: replaying ``put(k, v)`` writes the same bytes.  ``sweep``
+    retries too (read-only; a replay just re-reads).  Of the two-phase
+    extraction family, ``extract_prepare`` is retryable (records are
+    retained; a replay issues a fresh token and the stale one
+    lease-expires), and ``extract_commit``/``extract_abort`` are
+    idempotent at the server, so their replays are no-ops.  Only the
+    *legacy* destructive ``extract`` op never retries — replaying it
+    would silently drop the records a half-run already removed.
     """
 
     def __init__(self, address: tuple[str, int], timeout: float = 5.0,
@@ -76,10 +89,21 @@ class LiveCacheClient:
             self.reconnects += 1
         return self._sock
 
-    def _attempt(self, header: dict, body: bytes) -> tuple[dict, bytes]:
+    @staticmethod
+    def _stamp_deadline(header: dict, expires_at: float | None) -> dict:
+        """Attach the *remaining* budget so each retry ships less."""
+        if expires_at is None:
+            return header
+        remaining_ms = int((expires_at - time.monotonic()) * 1000)
+        if remaining_ms <= 0:
+            raise DeadlineError("deadline_exceeded")
+        return {**header, "deadline_ms": remaining_ms}
+
+    def _attempt(self, header: dict, body: bytes,
+                 expires_at: float | None = None) -> tuple[dict, bytes]:
         sock = self._ensure_locked()
         try:
-            send_frame(sock, header, body)
+            send_frame(sock, self._stamp_deadline(header, expires_at), body)
             return recv_frame(sock)
         except (ProtocolError, OSError):
             # The stream is unusable (stale connection, mid-frame loss,
@@ -90,85 +114,180 @@ class LiveCacheClient:
     def _note_retry(self, failures: int, exc: BaseException) -> None:
         self.retries += 1
 
-    def _call(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
+    def _call(self, header: dict, body: bytes = b"",
+              deadline_ms: float | None = None) -> tuple[dict, bytes]:
+        expires_at = (time.monotonic() + deadline_ms / 1000.0
+                      if deadline_ms is not None else None)
         with self._lock:
             return call_with_retry(
-                lambda: self._attempt(header, body),
+                lambda: self._attempt(header, body, expires_at),
                 self.retry,
                 retry_on=(ProtocolError, OSError),
+                give_up_on=(DeadlineError,),
                 rng=self._rng,
                 on_retry=self._note_retry,
             )
+
+    @staticmethod
+    def _ok(reply: dict, default: str) -> dict:
+        """Return the reply or raise its typed error."""
+        if not reply.get("ok"):
+            raise error_from_reply(reply, default)
+        return reply
 
     def ping(self) -> bool:
         """Liveness check."""
         reply, _ = self._call({"op": "ping"})
         return bool(reply.get("pong"))
 
-    def get(self, key: int) -> bytes | None:
+    def get(self, key: int, deadline_ms: float | None = None,
+            priority: str | None = None) -> bytes | None:
         """Fetch a value, or ``None`` on miss."""
-        reply, body = self._call({"op": "get", "key": key})
-        if not reply.get("ok"):
-            raise ProtocolError(reply.get("error", "get failed"))
+        header = {"op": "get", "key": key}
+        if priority is not None:
+            header["priority"] = priority
+        reply, body = self._call(header, deadline_ms=deadline_ms)
+        self._ok(reply, "get failed")
         return body if reply.get("found") else None
 
-    def put(self, key: int, value: bytes) -> int:
+    def put(self, key: int, value: bytes, deadline_ms: float | None = None,
+            priority: str | None = None) -> int:
         """Store a value; returns bytes freed by an overwrite (0 if new).
 
         Raises
         ------
         ProtocolError
             On server-side overflow (the live server does not split
-            itself; the cluster client handles growth).
+            itself; the cluster client handles growth),
+            :class:`~repro.live.protocol.OverloadedError` on shed, or
+            :class:`~repro.live.protocol.DeadlineError` on an expired
+            budget.
         """
-        reply, _ = self._call({"op": "put", "key": key}, body=value)
-        if not reply.get("ok"):
-            raise ProtocolError(reply.get("error", "put failed"))
+        header = {"op": "put", "key": key}
+        if priority is not None:
+            header["priority"] = priority
+        reply, _ = self._call(header, body=value, deadline_ms=deadline_ms)
+        self._ok(reply, "put failed")
         return int(reply.get("freed", 0))
 
-    def delete(self, key: int) -> tuple[bool, int]:
+    def delete(self, key: int,
+               deadline_ms: float | None = None) -> tuple[bool, int]:
         """Remove a key; returns ``(existed, bytes_freed)``."""
-        reply, _ = self._call({"op": "delete", "key": key})
-        if not reply.get("ok"):
-            raise ProtocolError(reply.get("error", "delete failed"))
+        reply, _ = self._call({"op": "delete", "key": key},
+                              deadline_ms=deadline_ms)
+        self._ok(reply, "delete failed")
         return bool(reply.get("found")), int(reply.get("freed", 0))
 
-    def _ranged(self, op: str, lo: int, hi: int) -> list[tuple[int, bytes]]:
-        # Deliberately NO retry here (regardless of self.retry): replaying
-        # a half-completed extract would silently drop the records the
-        # first attempt already removed from the server.
-        with self._lock:
-            sock = self._ensure_locked()
-            try:
-                send_frame(sock, {"op": op, "lo": lo, "hi": hi})
-                reply, _ = recv_frame(sock)
-                if not reply.get("ok"):
-                    raise ProtocolError(reply.get("error", f"{op} failed"))
-                records = []
+    # --------------------------------------------------------- range ops
+
+    def _ranged_attempt(self, header: dict) -> tuple[dict,
+                                                     list[tuple[int, bytes]]]:
+        """One shot of a streaming range op on the current connection."""
+        sock = self._ensure_locked()
+        try:
+            send_frame(sock, header)
+            reply, _ = recv_frame(sock)
+            records = []
+            if reply.get("ok"):
                 for _ in range(int(reply["count"])):
                     head, body = recv_frame(sock)
                     records.append((int(head["key"]), body))
-                return records
-            except (ProtocolError, OSError):
-                # Whether the stream died or the server refused, the
-                # frame cursor may be mid-stream: drop the socket so the
-                # next idempotent call reconnects cleanly.
-                self._drop_locked()
-                raise
+        except (ProtocolError, OSError):
+            # The stream died mid-frame: the cursor position is unknown,
+            # so drop the socket and let the next call reconnect.
+            self._drop_locked()
+            raise
+        if not reply.get("ok"):
+            # A refusal (overloaded, deadline, bad range) is a complete
+            # reply — the connection is healthy, keep it.
+            raise error_from_reply(reply, f"{header['op']} failed")
+        return reply, records
+
+    def _ranged_retrying(self, header: dict) -> tuple[dict,
+                                                      list[tuple[int, bytes]]]:
+        """A *retryable* range stream (safe only for non-destructive
+        ops: sweep and extract_prepare — a replay re-reads, the server's
+        records are untouched).  Shed/deadline refusals surface
+        immediately: the server answered, retrying blindly would just
+        add load."""
+        with self._lock:
+            return call_with_retry(
+                lambda: self._ranged_attempt(header),
+                self.retry,
+                retry_on=(ProtocolError, OSError),
+                give_up_on=(OverloadedError, DeadlineError),
+                rng=self._rng,
+                on_retry=self._note_retry,
+            )
 
     def sweep(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
-        """Read all records in ``[lo, hi]`` (non-destructive)."""
-        return self._ranged("sweep", lo, hi)
+        """Read all records in ``[lo, hi]`` (non-destructive, retryable)."""
+        _, records = self._ranged_retrying({"op": "sweep", "lo": lo, "hi": hi})
+        return records
+
+    def extract_legacy(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
+        """The old single-shot destructive extraction.
+
+        Deliberately NO retry (regardless of ``self.retry``): replaying
+        a half-completed extract would silently drop the records the
+        first attempt already removed from the server.  Kept for wire
+        compatibility and as the regression-test counterpoint; cluster
+        migrations use the two-phase family.
+        """
+        with self._lock:
+            _, records = self._ranged_attempt(
+                {"op": "extract", "lo": lo, "hi": hi})
+            return records
+
+    # ------------------------------------------------- two-phase extract
+
+    def extract_prepare(self, lo: int, hi: int,
+                        lease_s: float | None = None
+                        ) -> tuple[str, list[tuple[int, bytes]]]:
+        """Snapshot ``[lo, hi]`` under a transfer token; records are
+        **retained** at the server until :meth:`extract_commit`.
+
+        Retryable: a replay issues a fresh token and streams the same
+        (still-present) records; an orphaned token simply lease-expires.
+        """
+        header = {"op": "extract_prepare", "lo": lo, "hi": hi}
+        if lease_s is not None:
+            header["lease_s"] = lease_s
+        reply, records = self._ranged_retrying(header)
+        return str(reply["token"]), records
+
+    def extract_commit(self, token: str) -> int:
+        """Delete the records snapshotted under ``token``; idempotent.
+
+        Returns the number of records removed (0 when the token is
+        unknown — already committed, aborted, or expired — which is
+        exactly what a retried commit after a lost reply should see).
+        """
+        reply, _ = self._call({"op": "extract_commit", "token": token})
+        self._ok(reply, "extract_commit failed")
+        return int(reply.get("removed", 0))
+
+    def extract_abort(self, token: str) -> bool:
+        """Release a prepared snapshot without deleting; idempotent."""
+        reply, _ = self._call({"op": "extract_abort", "token": token})
+        self._ok(reply, "extract_abort failed")
+        return bool(reply.get("released"))
 
     def extract(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
-        """Read *and remove* all records in ``[lo, hi]``."""
-        return self._ranged("extract", lo, hi)
+        """Read *and remove* all records in ``[lo, hi]`` — two-phase.
+
+        Equivalent to the old destructive extract from the caller's
+        perspective, but a crash between phases leaves the records on
+        the server (the prepare lease expires) instead of losing them.
+        """
+        token, records = self.extract_prepare(lo, hi)
+        self.extract_commit(token)
+        return records
 
     def stats(self) -> dict:
-        """Server-side counters."""
+        """Server-side counters (store + admission gate + transfers)."""
         reply, _ = self._call({"op": "stats"})
-        if not reply.get("ok"):
-            raise ProtocolError(reply.get("error", "stats failed"))
+        self._ok(reply, "stats failed")
         return reply
 
 
@@ -237,13 +356,17 @@ class LiveClusterClient:
         """Idempotent-request retries summed over live connections."""
         return sum(c.retries for c in self.clients.values())
 
-    def get(self, key: int) -> bytes | None:
+    def get(self, key: int, deadline_ms: float | None = None,
+            priority: str | None = None) -> bytes | None:
         """Routed fetch."""
-        return self.client_for(key).get(key)
+        return self.client_for(key).get(key, deadline_ms=deadline_ms,
+                                        priority=priority)
 
-    def put(self, key: int, value: bytes) -> None:
+    def put(self, key: int, value: bytes, deadline_ms: float | None = None,
+            priority: str | None = None) -> None:
         """Routed store (accounting flows through the shared ring)."""
-        freed = self.client_for(key).put(key, value)
+        freed = self.client_for(key).put(key, value, deadline_ms=deadline_ms,
+                                         priority=priority)
         hkey = self.ring.hash_key(key)
         if freed:
             self.ring.record_delete(hkey, freed)
@@ -261,9 +384,10 @@ class LiveClusterClient:
     def add_server(self, address: tuple[str, int], bucket: int) -> int:
         """Grow the cluster: new bucket + Algorithm 2 over the wire.
 
-        The records in the new bucket's interval are extracted from the
-        server that previously owned them and streamed to the new one.
-        Returns the number of records migrated.
+        The records in the new bucket's interval are migrated two-phase
+        (prepare → copy → commit) from the server that previously owned
+        them to the new one: a crash mid-migration leaves the records on
+        the source, never lost.  Returns the number of records migrated.
         """
         if address in self.clients:
             raise ValueError(f"server {address} already in the cluster")
@@ -274,11 +398,8 @@ class LiveClusterClient:
 
         lo, hi = self.ring.interval_segments(bucket)[-1]
         src = self.clients[old_owner_addr]
-        moved_bytes = 0
-        records = src.extract(lo, hi)
-        for key, value in records:
-            new_client.put(key, value)
-            moved_bytes += len(value)
+        records = migrate_range(src, new_client.put, lo, hi)
+        moved_bytes = sum(len(v) for _, v in records)
         if records:
             self.ring.transfer_load(
                 self.ring.bucket_for_hkey(hi + 1)
@@ -291,9 +412,12 @@ class LiveClusterClient:
         successors of its buckets (the contraction counterpart of
         :meth:`add_server`), drop its buckets, and disconnect.
 
-        Returns the number of records migrated.  The server process
-        itself is left running (ownerless) — stopping it is the
-        caller's job, mirroring instance termination.
+        Each interval is drained two-phase: the records are copied to
+        their new homes *before* the victim deletes them, so a crash
+        mid-drain duplicates at worst.  Returns the number of records
+        migrated.  The server process itself is left running
+        (ownerless) — stopping it is the caller's job, mirroring
+        instance termination.
 
         Raises
         ------
@@ -309,9 +433,13 @@ class LiveClusterClient:
         moved = 0
         for bucket in list(self.ring.buckets_of(address)):
             segments = self.ring.interval_segments(bucket)
+            # Phase 1: snapshot every segment under transfer tokens.
+            prepared: list[tuple[str, list[tuple[int, bytes]]]] = []
             records: list[tuple[int, bytes]] = []
             for lo, hi in segments:
-                records.extend(victim.extract(lo, hi))
+                token, recs = victim.extract_prepare(lo, hi)
+                prepared.append((token, recs))
+                records.extend(recs)
             # Release the bucket's accounting, drop it (its interval folds
             # into the ring successor), then reinsert through normal
             # routing so each record is re-accounted at its new home.
@@ -321,6 +449,9 @@ class LiveClusterClient:
             for key, value in records:
                 self.put(key, value)
                 moved += 1
+            # Phase 2: every record has a new home — only now delete.
+            for token, _ in prepared:
+                victim.extract_commit(token)
         del self.clients[address]
         victim.close()
         return moved
@@ -382,10 +513,10 @@ class LiveClusterClient:
 
         The inverse of :meth:`fail_server`, and once more Algorithm 2 in
         spirit: for each bucket the dead node used to own, the records
-        recomputed onto the interim owner during the outage are
-        ``extract``-swept off it and streamed back to the restored
-        server, then the bucket is re-assigned home.  Returns the number
-        of records migrated back.
+        recomputed onto the interim owner during the outage are migrated
+        back two-phase — copied home *before* the interim owner deletes
+        them, so a crash mid-restore cannot lose what the outage already
+        paid to recompute.  Returns the number of records migrated back.
         """
         address = tuple(address)  # type: ignore[assignment]
         if address not in self._failed:
@@ -401,12 +532,22 @@ class LiveClusterClient:
             # still holding the records whose accounting fail_server
             # wrote off.  Drain them: unaccounted residents would break
             # ring accounting on their first overwrite.  (A crashed
-            # server restarts cold, so this drain is a no-op.)
+            # server restarts cold, so this drain is a no-op.)  The
+            # drain is two-phase as well: stale bytes survive a crash
+            # here, and duplicates resolve on re-insert below.
             stale: list[tuple[int, bytes]] = []
+            stale_tokens: list[str] = []
+            interim_prepared: list[tuple[str, list[tuple[int, bytes]]]] = []
             records: list[tuple[int, bytes]] = []
             for lo, hi in segments:
-                stale.extend(client.extract(lo, hi))
-                records.extend(interim.extract(lo, hi))
+                s_token, s_recs = client.extract_prepare(lo, hi)
+                stale_tokens.append(s_token)
+                stale.extend(s_recs)
+                token, recs = interim.extract_prepare(lo, hi)
+                interim_prepared.append((token, recs))
+                records.extend(recs)
+            for token in stale_tokens:
+                client.extract_commit(token)
             for key, value in records:
                 self.ring.record_delete(self.ring.hash_key(key), len(value))
             self.ring.reassign_bucket(bucket, address)
@@ -420,6 +561,9 @@ class LiveClusterClient:
             for key, value in stale:
                 if key not in fresh:
                     self.put(key, value)
+            # Records are home — the interim owners may now delete.
+            for token, _ in interim_prepared:
+                interim.extract_commit(token)
         del self._failed[address]
         return moved
 

@@ -26,6 +26,22 @@ failure-time analogue of Algorithm 2's migration) and routing continues
 without it.  :meth:`check_recovery` pings failed addresses and, when one
 answers again (process restarted on the same port), re-admits it and
 migrates the records recomputed during the outage back home.
+
+Overload hardening
+------------------
+Saturation is handled as deliberately as death.  A per-server
+:class:`~repro.faults.breaker.CircuitBreaker` fast-fails queries at a
+shard that keeps erroring — degraded recompute without burning a
+connect timeout per query.  An optional per-query ``deadline_ms``
+budget propagates coordinator → client → wire, so a saturated server
+drops work its caller already abandoned (counted as deadline misses,
+answered by recompute).  A server that *sheds* (admission queue full)
+is not treated as dead — shedding is back-pressure, not failure — the
+query degrades to recompute and the breaker/detector stay untouched.
+Priority ordering: user-facing queries always get recompute; background
+(prefetch/warm) traffic is tagged ``priority=background`` on the wire,
+shed first by the server, and simply *dropped* by the coordinator when
+the cluster is degraded or overloaded.
 """
 
 from __future__ import annotations
@@ -38,9 +54,11 @@ from typing import Callable
 from repro.core.config import EvictionConfig
 from repro.core.metrics import MetricsRecorder
 from repro.core.sliding_window import SlidingWindowEvictor
+from repro.faults.breaker import CircuitBreaker
 from repro.faults.detector import FailureDetector
 from repro.live.client import LiveClusterClient
-from repro.live.protocol import ProtocolError, recv_frame, send_frame
+from repro.live.protocol import (DeadlineError, OverloadedError,
+                                 ProtocolError, recv_frame, send_frame)
 from repro.live.server import LiveCacheServer
 
 
@@ -61,6 +79,11 @@ class LiveQueryStats:
     recovered_records: int = 0
     dropped_writes: int = 0
     downtime_s: float = 0.0
+    # overload-path counters
+    overloaded: int = 0          #: queries the cluster shed (recomputed)
+    shed_background: int = 0     #: background requests dropped outright
+    breaker_fastfails: int = 0   #: queries short-circuited by an open breaker
+    deadline_misses: int = 0     #: queries whose deadline budget expired
 
     @property
     def hit_rate(self) -> float:
@@ -97,6 +120,14 @@ class LiveCoordinator:
         :meth:`end_slice`.
     detector:
         Failure detector; defaults to a 2-consecutive-error threshold.
+    breaker:
+        Per-server circuit breaker.  ``None`` (default) creates one
+        sharing ``detector`` with a 1 s reset timeout; pass an explicit
+        :class:`~repro.faults.breaker.CircuitBreaker` to tune it.
+    deadline_ms:
+        Default per-query time budget, propagated to every wire op this
+        query performs (each op gets the *remaining* budget).  ``None``
+        disables deadline propagation.
     health_every:
         Ping-based health sweep (plus recovery probe) every N queries;
         0 disables the in-band sweep — errors and explicit
@@ -118,6 +149,8 @@ class LiveCoordinator:
         spawn_server: Callable[[], LiveCacheServer] | None = None,
         eviction: EvictionConfig | None = None,
         detector: FailureDetector | None = None,
+        breaker: CircuitBreaker | None = None,
+        deadline_ms: float | None = None,
         health_every: int = 0,
         metrics: MetricsRecorder | None = None,
     ) -> None:
@@ -127,6 +160,9 @@ class LiveCoordinator:
         self.evictor = (SlidingWindowEvictor(eviction)
                         if eviction is not None and eviction.enabled else None)
         self.detector = detector if detector is not None else FailureDetector()
+        self.breaker = (breaker if breaker is not None
+                        else CircuitBreaker(detector=self.detector))
+        self.deadline_ms = deadline_ms
         self.health_every = health_every
         self.metrics = metrics
         self.stats = LiveQueryStats()
@@ -135,54 +171,154 @@ class LiveCoordinator:
 
     # ------------------------------------------------------------- queries
 
-    def query(self, key: int) -> bytes:
+    def query(self, key: int, priority: str = "user") -> bytes | None:
         """Serve one request, computing and caching on miss.
 
-        Never raises on shard loss: transport failures degrade to
-        recompute, and the failing shard is routed around once the
-        failure detector condemns it.
+        User-facing traffic (``priority="user"``, the default) never
+        raises on shard loss or overload: transport failures degrade to
+        recompute, sheds and deadline misses recompute too, and a
+        failing shard is routed around once the failure detector
+        condemns it.  Background traffic (``priority="background"`` —
+        prefetch/warm fills) is the first thing sacrificed in degraded
+        or overloaded conditions: it is tagged on the wire so the server
+        sheds it early, and any failure *drops* it (returns ``None``)
+        instead of spending recompute on it.
         """
         if (self.health_every and self.stats.queries
                 and self.stats.queries % self.health_every == 0):
             self.health_check()
         self.stats.queries += 1
         t0 = time.perf_counter()
+        expires_at = (time.monotonic() + self.deadline_ms / 1000.0
+                      if self.deadline_ms is not None else None)
+        background = priority == "background"
         if self.evictor is not None:
             self.evictor.record(key)
         addr = self.cluster.address_for(key)
+        if not self.breaker.allow(addr):
+            # Open breaker: fast-fail to the fallback without burning a
+            # connect timeout against a shard we expect to be dead.
+            self.stats.breaker_fastfails += 1
+            if self.metrics is not None:
+                self.metrics.record_breaker_fastfail()
+            if background:
+                return self._drop_background()
+            return self._query_degraded(key, addr, t0, expires_at,
+                                        charge=False)
         try:
-            cached = self.cluster.get(key)
+            cached = self.cluster.get(
+                key, deadline_ms=self._remaining_ms(expires_at),
+                priority="background" if background else None)
+        except OverloadedError:
+            # Back-pressure from a *live* server: nothing is charged to
+            # the detector or breaker — shedding is how the node asks
+            # for elastic growth, not a symptom of death.
+            self.stats.overloaded += 1
+            if self.metrics is not None:
+                self.metrics.record_shed()
+            if background:
+                return self._drop_background()
+            return self._recompute(key, t0, expires_at)
+        except DeadlineError:
+            self.stats.deadline_misses += 1
+            if self.metrics is not None:
+                self.metrics.record_deadline_miss()
+            if background:
+                return self._drop_background()
+            return self._recompute(key, t0, expires_at)
         except self.FAILURES:
-            return self._query_degraded(key, addr, t0)
-        self.detector.record_success(addr)
+            self._charge_failure(addr)
+            if background:
+                return self._drop_background()
+            return self._query_degraded(key, addr, t0, expires_at,
+                                        charge=False)
+        self._charge_success(addr)
         if cached is not None:
             self.stats.hits += 1
             self._note_query(hit=True, t0=t0)
             return cached
         self.stats.misses += 1
         value = self.compute(key)
-        self._put_with_growth(key, value)
+        # Fast path (shard healthy): the write is NOT best-effort —
+        # an overflow must surface so elasticity (or its absence) is
+        # the caller's decision, exactly as before overload hardening.
+        self._put_with_growth(key, value,
+                              deadline_ms=self._remaining_ms(expires_at))
+        self._note_query(hit=False, t0=t0)
+        return value
+
+    def prefetch(self, key: int) -> bool:
+        """Warm the cache with background priority; ``True`` if the key
+        is now cached (``False`` when the attempt was shed/dropped —
+        prefetch is exactly the traffic overload protection sacrifices
+        first)."""
+        return self.query(key, priority="background") is not None
+
+    # ----------------------------------------------------- fallback paths
+
+    @staticmethod
+    def _remaining_ms(expires_at: float | None) -> float | None:
+        """Remaining per-query budget to forward on the wire."""
+        if expires_at is None:
+            return None
+        return (expires_at - time.monotonic()) * 1000.0
+
+    def _charge_failure(self, addr: tuple[str, int]) -> None:
+        """Feed one failure observation to breaker *and* detector
+        (once each — by default they share the same detector)."""
+        self.breaker.record_failure(addr)
+        if self.breaker.detector is not self.detector:
+            self.detector.record_failure(addr)
+
+    def _charge_success(self, addr: tuple[str, int]) -> None:
+        self.breaker.record_success(addr)
+        if self.breaker.detector is not self.detector:
+            self.detector.record_success(addr)
+
+    def _drop_background(self) -> None:
+        """Shed a background request outright (no recompute)."""
+        self.stats.shed_background += 1
+        if self.metrics is not None:
+            self.metrics.record_shed(background=True)
+        return None
+
+    def _store_after_compute(self, key: int, value: bytes,
+                             expires_at: float | None) -> None:
+        """Best-effort cache fill after a recompute; a failed or shed
+        write costs a future miss, never correctness."""
+        try:
+            self._put_with_growth(key, value,
+                                  deadline_ms=self._remaining_ms(expires_at))
+        except self.FAILURES:
+            self.stats.dropped_writes += 1
+
+    def _recompute(self, key: int, t0: float,
+                   expires_at: float | None) -> bytes:
+        """Recompute for a shed/expired request — the shard is alive,
+        so this is not charged as a degraded (availability) event."""
+        self.stats.misses += 1
+        value = self.compute(key)
+        self._store_after_compute(key, value, expires_at)
         self._note_query(hit=False, t0=t0)
         return value
 
     def _query_degraded(self, key: int, addr: tuple[str, int],
-                        t0: float) -> bytes:
+                        t0: float, expires_at: float | None = None,
+                        charge: bool = True) -> bytes:
         """The slow-but-correct path: shard unreachable, recompute."""
         self.stats.degraded_queries += 1
         self.stats.misses += 1
         if self.metrics is not None:
             self.metrics.record_degraded()
-        self.detector.record_failure(addr)
+        if charge:
+            self._charge_failure(addr)
         if self.detector.is_down(addr):
             self._fail_over(addr)
         value = self.compute(key)
-        try:
-            # After a repair this routes to the surviving owner and
-            # repopulates; before one it may fail again — that's fine,
-            # the computed value is already in hand.
-            self._put_with_growth(key, value)
-        except self.FAILURES:
-            self.stats.dropped_writes += 1
+        # After a repair the write routes to the surviving owner and
+        # repopulates; before one it may fail again — that's fine, the
+        # computed value is already in hand.
+        self._store_after_compute(key, value, expires_at)
         self._note_query(hit=False, t0=t0)
         return value
 
@@ -191,10 +327,11 @@ class LiveCoordinator:
             self.metrics.record_query(hit=hit,
                                       latency_s=time.perf_counter() - t0)
 
-    def _put_with_growth(self, key: int, value: bytes, max_growths: int = 4) -> None:
+    def _put_with_growth(self, key: int, value: bytes, max_growths: int = 4,
+                         deadline_ms: float | None = None) -> None:
         for _ in range(max_growths):
             try:
-                self.cluster.put(key, value)
+                self.cluster.put(key, value, deadline_ms=deadline_ms)
                 return
             except ProtocolError as exc:
                 if "overflow" not in str(exc) or self.spawn_server is None:
@@ -202,7 +339,7 @@ class LiveCoordinator:
             # Midpoint splits halve the interval, not necessarily the
             # bytes, so a skewed interval may need more than one growth.
             self._grow_for(key)
-        self.cluster.put(key, value)
+        self.cluster.put(key, value, deadline_ms=deadline_ms)
 
     def _grow_for(self, key: int) -> None:
         """Live Algorithm 2: split the overflowing bucket's interval."""
@@ -245,11 +382,11 @@ class LiveCoordinator:
             try:
                 client.ping()
             except self.FAILURES:
-                self.detector.record_failure(addr)
+                self._charge_failure(addr)
                 if self.detector.is_down(addr) and self._fail_over(addr):
                     condemned.append(addr)
             else:
-                self.detector.record_success(addr)
+                self._charge_success(addr)
         self.check_recovery()
         return condemned
 
@@ -279,6 +416,7 @@ class LiveCoordinator:
                 continue
             moved = self.cluster.restore_server(addr)
             self.detector.mark_recovered(addr)
+            self.breaker.record_success(addr)  # close any open breaker
             self.stats.recoveries += 1
             self.stats.recovered_records += moved
             downtime = 0.0

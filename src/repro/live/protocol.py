@@ -13,12 +13,44 @@ Requests
 ``{"op": "delete", "key": int}``
 ``{"op": "sweep",  "lo": int, "hi": int}``             → streamed records
 ``{"op": "extract","lo": int, "hi": int}``             → records, removed
+``{"op": "extract_prepare", "lo": int, "hi": int}``    → token + records
+``{"op": "extract_commit",  "token": str}``            → records deleted
+``{"op": "extract_abort",   "token": str}``            → lease released
 ``{"op": "stats"}``
 ``{"op": "ping"}``
 
+Any request may additionally carry:
+
+``"deadline_ms"``
+    Remaining per-op time budget in milliseconds, measured from the
+    moment the frame is received.  A request whose budget expires while
+    queued for admission (or before the store lock is taken) is answered
+    ``{"ok": false, "error": "deadline_exceeded"}`` instead of doing
+    stale work the caller has already given up on.
+``"priority"``
+    ``"user"`` (default) or ``"background"``.  Under load pressure the
+    server sheds background traffic first (prefetch/warm fills are
+    cheaper to drop than user-facing queries are to delay).
+
 Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": str}``.
-Sweep/extract respond with ``{"ok": true, "count": n}`` followed by ``n``
-record frames ``{"key": k, "body": len}`` + value bytes.
+An admission-queue overflow answers
+``{"ok": false, "error": "overloaded", "retry_after_ms": n}`` — a fast
+rejection, never unbounded queueing.  Sweep and the extract family
+respond with ``{"ok": true, "count": n}`` (prepare adds ``"token"``)
+followed by ``n`` record frames ``{"key": k, "body": len}`` + value
+bytes.
+
+Two-phase extraction
+--------------------
+The legacy ``extract`` deletes records *before* the caller has stored
+them anywhere — a crash mid-stream loses data.  The two-phase family
+replaces it for migrations: ``extract_prepare`` snapshots the range
+under a leased transfer token while **retaining** every record, the
+caller copies the records to their destination, and only then does
+``extract_commit`` delete them (``extract_abort``, or lease expiry,
+releases the snapshot without deleting).  A crash at any point leaves at
+most duplicates — resolved idempotently when the record is re-inserted —
+never loss.
 """
 
 from __future__ import annotations
@@ -36,12 +68,50 @@ class ProtocolError(RuntimeError):
     """Raised on malformed frames or transport failures."""
 
 
+class OverloadedError(ProtocolError):
+    """The server shed this request (admission queue full).
+
+    ``retry_after_ms`` is the server's backoff hint; callers that can
+    wait should retry after it, callers that cannot should degrade.
+    """
+
+    def __init__(self, message: str = "overloaded",
+                 retry_after_ms: int = 0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class DeadlineError(ProtocolError):
+    """The request's ``deadline_ms`` budget expired before execution."""
+
+
+def error_from_reply(reply: dict, default: str) -> ProtocolError:
+    """Map an ``{"ok": false}`` reply onto the matching typed error."""
+    message = str(reply.get("error", default))
+    if message == "overloaded":
+        return OverloadedError(message,
+                               int(reply.get("retry_after_ms", 0) or 0))
+    if message == "deadline_exceeded":
+        return DeadlineError(message)
+    return ProtocolError(message)
+
+
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    """Read exactly ``n`` bytes or raise :class:`ProtocolError`."""
+    """Read exactly ``n`` bytes or raise :class:`ProtocolError`.
+
+    A socket timeout (half-open peer, stalled sender) surfaces as
+    :class:`ProtocolError` too: to the framing layer a peer that stops
+    mid-frame is indistinguishable from one that disconnected, and
+    callers must not be pinned forever on either.
+    """
     chunks = []
     remaining = n
     while remaining:
-        chunk = sock.recv(min(remaining, 65536))
+        try:
+            chunk = sock.recv(min(remaining, 65536))
+        except (socket.timeout, TimeoutError) as exc:
+            raise ProtocolError(f"timed out mid-frame ({remaining} B "
+                                f"of {n} B outstanding)") from exc
         if not chunk:
             raise ProtocolError("connection closed mid-frame")
         chunks.append(chunk)
@@ -65,7 +135,8 @@ def recv_frame(sock: socket.socket) -> tuple[dict, bytes]:
     Raises
     ------
     ProtocolError
-        On truncated frames, oversized declarations, or invalid JSON.
+        On truncated frames, oversized or malformed declarations,
+        invalid JSON, or a receive timeout.
     """
     (header_len,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
     if header_len > MAX_HEADER_BYTES:
@@ -76,7 +147,11 @@ def recv_frame(sock: socket.socket) -> tuple[dict, bytes]:
         raise ProtocolError(f"invalid header JSON: {exc}") from exc
     if not isinstance(header, dict):
         raise ProtocolError("header must be a JSON object")
-    body_len = int(header.get("body", 0))
+    try:
+        body_len = int(header.get("body", 0))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"non-numeric body declaration {header.get('body')!r}") from exc
     if body_len < 0 or body_len > MAX_BODY_BYTES:
         raise ProtocolError(f"declared body of {body_len} B out of range")
     body = _recv_exact(sock, body_len) if body_len else b""

@@ -5,60 +5,247 @@ B+-tree-indexed in-memory store ("in our implementation, the cache server
 is automatically fetched from a remote location on the startup of a new
 Cloud instance" — here it is a Python object you start on a port).
 
-Concurrency: a ``ThreadingTCPServer`` accepts many clients; store access
-is serialized by one lock (the store operations are microseconds, so the
-lock is not the bottleneck at localhost scale; a production port would
-shard it).
+Concurrency and overload
+------------------------
+A ``ThreadingTCPServer`` accepts many clients; store access is
+serialized by one lock.  Connection threads are cheap (they block on
+``recv``), but *work* is not: every op passes an :class:`AdmissionGate`
+that bounds concurrent execution (``max_workers``) and the number of ops
+allowed to wait for a slot (``max_queue``).  Beyond that the server
+**sheds**: a fast ``{"ok": false, "error": "overloaded",
+"retry_after_ms": n}`` instead of unbounded queueing — the elastic
+answer to a demand burst is to grow the cluster, not to melt one node.
+Background-priority traffic is shed first (at half queue depth), and a
+request whose ``deadline_ms`` budget expires while queued is answered
+``deadline_exceeded`` rather than executed late.  Each connection also
+carries a socket timeout, so a half-open or stalled peer cannot pin a
+handler thread forever.
+
+Migration safety: the ``extract_prepare``/``extract_commit``/
+``extract_abort`` family (backed by a
+:class:`~repro.live.migration.TransferLedger`) replaces destructive
+extraction for cluster migrations — see :mod:`repro.live.migration`.
 """
 
 from __future__ import annotations
 
 import socketserver
 import threading
+import time
 
 from repro.btree.bplustree import BPlusTree
 from repro.btree.sweep import collect_range
+from repro.live.migration import TransferLedger
 from repro.live.protocol import ProtocolError, recv_frame, send_frame
+
+
+class AdmissionGate:
+    """Bounded-concurrency admission control with load shedding.
+
+    ``max_workers`` ops execute at once; at most ``max_queue`` more may
+    wait for a slot.  Anything beyond that is shed immediately.  While
+    the queue is in its upper half, background-priority ops are shed
+    too — dropping a prefetch is cheaper than delaying a user query.
+
+    The gate is deliberately separate from the store lock: it bounds
+    *work in the building*, and the queue-depth/shed counters it keeps
+    are the signals an autoscaler (or this repo's benchmarks) watches.
+    """
+
+    def __init__(self, max_workers: int = 16, max_queue: int = 64,
+                 retry_after_ms: int = 50) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_workers = max_workers
+        self.max_queue = max_queue
+        self.retry_after_ms = retry_after_ms
+        self._slots = threading.Semaphore(max_workers)
+        self._lock = threading.Lock()
+        self.active = 0
+        self.waiting = 0
+        self.peak_queue_depth = 0
+        self.peak_active = 0
+        self.shed_overload = 0
+        self.shed_background = 0
+        self.deadline_misses = 0
+
+    def try_admit(self, *, priority: str = "user",
+                  expires_at: float | None = None) -> str:
+        """Try to win an execution slot, waiting in the bounded queue.
+
+        Returns ``"admitted"``, ``"overloaded"`` (shed), or
+        ``"deadline"`` (budget expired while queued).  An admitted
+        caller **must** call :meth:`release`.
+        """
+        if self._slots.acquire(blocking=False):
+            self._note_admitted()
+            return "admitted"
+        with self._lock:
+            if self.waiting >= self.max_queue:
+                self.shed_overload += 1
+                return "overloaded"
+            if priority == "background" and self.waiting * 2 >= self.max_queue:
+                self.shed_background += 1
+                return "overloaded"
+            self.waiting += 1
+            self.peak_queue_depth = max(self.peak_queue_depth, self.waiting)
+        try:
+            while True:
+                timeout = None
+                if expires_at is not None:
+                    timeout = expires_at - time.monotonic()
+                    if timeout <= 0:
+                        with self._lock:
+                            self.deadline_misses += 1
+                        return "deadline"
+                if self._slots.acquire(timeout=timeout):
+                    self._note_admitted()
+                    return "admitted"
+        finally:
+            with self._lock:
+                self.waiting -= 1
+
+    def _note_admitted(self) -> None:
+        with self._lock:
+            self.active += 1
+            self.peak_active = max(self.peak_active, self.active)
+
+    def release(self) -> None:
+        """Return an execution slot."""
+        with self._lock:
+            self.active -= 1
+        self._slots.release()
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for ``stats`` replies."""
+        with self._lock:
+            return {
+                "max_workers": self.max_workers,
+                "max_queue": self.max_queue,
+                "active": self.active,
+                "queue_depth": self.waiting,
+                "peak_queue_depth": self.peak_queue_depth,
+                "peak_active": self.peak_active,
+                "shed_overload": self.shed_overload,
+                "shed_background": self.shed_background,
+                "deadline_misses": self.deadline_misses,
+            }
 
 
 class _Store:
     """The node-local state: tree + byte accounting, lock-protected."""
 
-    def __init__(self, capacity_bytes: int, order: int) -> None:
+    def __init__(self, capacity_bytes: int, order: int,
+                 lease_s: float) -> None:
         self.tree = BPlusTree(order=order)
         self.capacity_bytes = capacity_bytes
         self.used_bytes = 0
         self.lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.transfers = TransferLedger(lease_s=lease_s)
+
+    def delete_if_present(self, key: int) -> int:
+        """Delete ``key`` if cached; returns bytes freed (lock held by
+        caller)."""
+        try:
+            value = self.tree.delete(key)
+        except KeyError:
+            return 0
+        self.used_bytes -= len(value)
+        return len(value)
 
 
 class _Handler(socketserver.BaseRequestHandler):
     """One connection; serves frames until the peer disconnects."""
 
     def setup(self) -> None:  # noqa: D102 - socketserver hook
-        self.server.connections.add(self.request)  # type: ignore[attr-defined]
+        server = self.server
+        server.connections.add(self.request)  # type: ignore[attr-defined]
+        # A stalled or half-open peer surfaces as a timeout inside
+        # recv_frame (→ ProtocolError → session end) instead of pinning
+        # this thread forever.
+        if server.idle_timeout_s is not None:  # type: ignore[attr-defined]
+            self.request.settimeout(server.idle_timeout_s)  # type: ignore[attr-defined]
 
     def finish(self) -> None:  # noqa: D102 - socketserver hook
         self.server.connections.discard(self.request)  # type: ignore[attr-defined]
 
     def handle(self) -> None:  # noqa: D102 - socketserver hook
         store: _Store = self.server.store  # type: ignore[attr-defined]
+        gate: AdmissionGate = self.server.gate  # type: ignore[attr-defined]
         while True:
             try:
                 header, body = recv_frame(self.request)
             except ProtocolError:
-                return  # disconnect (or garbage) ends the session
+                return  # disconnect, garbage, or idle timeout ends the session
+            arrival = time.monotonic()
             try:
-                self._dispatch(store, header, body)
+                self._admit_and_dispatch(store, gate, header, body, arrival)
             except ProtocolError:
                 return
             except Exception as exc:  # report, keep serving
                 send_frame(self.request, {"ok": False, "error": str(exc)})
 
-    def _dispatch(self, store: _Store, header: dict, body: bytes) -> None:
+    # --------------------------------------------------------- admission
+
+    def _admit_and_dispatch(self, store: _Store, gate: AdmissionGate,
+                            header: dict, body: bytes,
+                            arrival: float) -> None:
+        op = header.get("op")
+        if op in ("ping", "stats"):
+            # Diagnostics bypass admission: health probes must keep
+            # answering while the node sheds real work (overloaded is
+            # not dead — the breaker and the detector treat them
+            # differently).
+            self._dispatch(store, header, body, expires_at=None)
+            return
+        expires_at = None
+        deadline_ms = header.get("deadline_ms")
+        if deadline_ms is not None:
+            try:
+                expires_at = arrival + float(deadline_ms) / 1000.0
+            except (TypeError, ValueError):
+                send_frame(self.request, {
+                    "ok": False,
+                    "error": f"bad deadline_ms {deadline_ms!r}"})
+                return
+        priority = str(header.get("priority", "user"))
+        verdict = gate.try_admit(priority=priority, expires_at=expires_at)
+        if verdict == "overloaded":
+            send_frame(self.request, {
+                "ok": False, "error": "overloaded",
+                "retry_after_ms": gate.retry_after_ms})
+            return
+        if verdict == "deadline":
+            send_frame(self.request, {"ok": False,
+                                      "error": "deadline_exceeded"})
+            return
+        try:
+            delay = self.server.op_delay_s  # type: ignore[attr-defined]
+            if delay:  # synthetic service time for overload benches
+                time.sleep(delay)
+            self._dispatch(store, header, body, expires_at=expires_at)
+        finally:
+            gate.release()
+
+    @staticmethod
+    def _expired(expires_at: float | None) -> bool:
+        """Deadline check at the store-lock boundary: work the caller
+        has given up on is dropped *before* it holds up the lock."""
+        return expires_at is not None and time.monotonic() >= expires_at
+
+    # ---------------------------------------------------------- dispatch
+
+    def _dispatch(self, store: _Store, header: dict, body: bytes,
+                  expires_at: float | None) -> None:
         op = header.get("op")
         sock = self.request
+        if self._expired(expires_at):
+            send_frame(sock, {"ok": False, "error": "deadline_exceeded"})
+            return
         if op == "ping":
             send_frame(sock, {"ok": True, "pong": True})
         elif op == "get":
@@ -88,37 +275,66 @@ class _Handler(socketserver.BaseRequestHandler):
             send_frame(sock, {"ok": True, "freed": freed})
         elif op == "delete":
             key = int(header["key"])
-            freed = 0
             with store.lock:
-                try:
-                    value = store.tree.delete(key)
-                    freed = len(value)
-                    store.used_bytes -= freed
-                    found = True
-                except KeyError:
-                    found = False
-            send_frame(sock, {"ok": True, "found": found, "freed": freed})
+                freed = store.delete_if_present(key)
+            send_frame(sock, {"ok": True, "found": freed > 0, "freed": freed})
         elif op in ("sweep", "extract"):
             lo, hi = int(header["lo"]), int(header["hi"])
             with store.lock:
                 records = collect_range(store.tree, lo, hi)
                 if op == "extract":
+                    # Legacy destructive extraction (kept for wire
+                    # compatibility); migrations use the two-phase
+                    # family below so a crash cannot lose records.
                     for key, value in records:
                         store.tree.delete(key)
                         store.used_bytes -= len(value)
             send_frame(sock, {"ok": True, "count": len(records)})
             for key, value in records:
                 send_frame(sock, {"key": key}, body=value)
-        elif op == "stats":
+        elif op == "extract_prepare":
+            lo, hi = int(header["lo"]), int(header["hi"])
+            lease = header.get("lease_s")
             with store.lock:
-                send_frame(sock, {
+                records = collect_range(store.tree, lo, hi)
+                token = store.transfers.prepare(
+                    lo, hi, records,
+                    lease_s=float(lease) if lease is not None else None)
+            send_frame(sock, {"ok": True, "token": token,
+                              "count": len(records)})
+            for key, value in records:
+                send_frame(sock, {"key": key}, body=value)
+        elif op == "extract_commit":
+            token = str(header["token"])
+            transfer = store.transfers.commit(token)
+            removed = 0
+            if transfer is not None:
+                with store.lock:
+                    for key, _ in transfer.records:
+                        if store.delete_if_present(key):
+                            removed += 1
+            send_frame(sock, {"ok": True, "known": transfer is not None,
+                              "removed": removed})
+        elif op == "extract_abort":
+            token = str(header["token"])
+            released = store.transfers.abort(token)
+            send_frame(sock, {"ok": True, "released": released})
+        elif op == "stats":
+            gate: AdmissionGate = self.server.gate  # type: ignore[attr-defined]
+            with store.lock:
+                reply = {
                     "ok": True,
                     "records": len(store.tree),
                     "used_bytes": store.used_bytes,
                     "capacity_bytes": store.capacity_bytes,
                     "hits": store.hits,
                     "misses": store.misses,
-                })
+                    "transfers_pending": store.transfers.pending,
+                    "transfers_committed": store.transfers.committed,
+                    "transfers_expired": store.transfers.expired,
+                }
+            reply.update(gate.snapshot())
+            send_frame(sock, reply)
         else:
             send_frame(sock, {"ok": False, "error": f"unknown op {op!r}"})
 
@@ -147,6 +363,24 @@ class _TCPServer(socketserver.ThreadingTCPServer):
 class LiveCacheServer:
     """A runnable cache node.
 
+    Parameters
+    ----------
+    capacity_bytes, order:
+        Store size and B+-tree fan-out.
+    max_workers, max_queue:
+        Admission gate: concurrent ops and bounded wait queue (see
+        :class:`AdmissionGate`).  The defaults are generous enough that
+        single-client tests never queue.
+    idle_timeout_s:
+        Per-connection socket timeout; a peer silent for longer has its
+        session closed (handler thread freed).  ``None`` disables.
+    lease_s:
+        Default ``extract_prepare`` snapshot lease.
+    op_delay_s:
+        Synthetic per-op service time (slept while *holding* a worker
+        slot, outside the store lock).  Zero in production; the overload
+        benchmark uses it to make saturation reproducible.
+
     Examples
     --------
     >>> server = LiveCacheServer(capacity_bytes=1 << 20).start()
@@ -156,10 +390,19 @@ class LiveCacheServer:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 capacity_bytes: int = 1 << 28, order: int = 64) -> None:
-        self.store = _Store(capacity_bytes, order)
+                 capacity_bytes: int = 1 << 28, order: int = 64,
+                 max_workers: int = 16, max_queue: int = 64,
+                 idle_timeout_s: float | None = 60.0,
+                 lease_s: float = 30.0,
+                 op_delay_s: float = 0.0) -> None:
+        self.store = _Store(capacity_bytes, order, lease_s=lease_s)
+        self.gate = AdmissionGate(max_workers=max_workers,
+                                  max_queue=max_queue)
         self._server = _TCPServer((host, port), _Handler)
         self._server.store = self.store  # type: ignore[attr-defined]
+        self._server.gate = self.gate  # type: ignore[attr-defined]
+        self._server.idle_timeout_s = idle_timeout_s  # type: ignore[attr-defined]
+        self._server.op_delay_s = op_delay_s  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
 
     @property

@@ -1,6 +1,18 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus a per-test timeout net.
+
+A wedged socket test (server thread stuck, client blocked in ``recv``)
+must fail loudly, not hang CI forever.  When the ``pytest-timeout``
+plugin is installed it enforces the ``timeout`` ini value; when it is
+not (this repo cannot assume it), a SIGALRM-based fallback below
+provides the same guarantee on platforms that support it.
+"""
 
 from __future__ import annotations
+
+import math
+import os
+import signal
+import threading
 
 import numpy as np
 import pytest
@@ -10,6 +22,64 @@ from repro.cloud.provider import SimulatedCloud
 from repro.core.config import CacheConfig, ContractionConfig, EvictionConfig
 from repro.core.elastic import ElasticCooperativeCache
 from repro.sim.clock import SimClock
+
+# ------------------------------------------------- per-test timeout net
+
+#: default per-test budget; generous because chaos tests sleep on purpose.
+DEFAULT_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "120"))
+
+
+def _have_timeout_plugin(config) -> bool:
+    return config.pluginmanager.hasplugin("timeout")
+
+
+def pytest_addoption(parser):
+    try:
+        # Mirror pytest-timeout's ini key so the pinned value in
+        # pyproject.toml works with or without the plugin installed.
+        parser.addini("timeout", "per-test timeout in seconds "
+                      "(fallback implementation)", default=None)
+    except ValueError:  # pragma: no cover - pytest-timeout registered it
+        pass
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM per-test deadline when pytest-timeout is unavailable.
+
+    Only active where it can work: the real plugin is absent, the
+    platform has SIGALRM (not Windows), and the test runs on the main
+    thread (signal delivery requirement).
+    """
+    usable = (not _have_timeout_plugin(item.config)
+              and hasattr(signal, "SIGALRM")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        yield
+        return
+    timeout = DEFAULT_TIMEOUT_S
+    ini = item.config.getini("timeout")
+    if ini:
+        timeout = float(ini)
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        timeout = float(marker.args[0])
+    if timeout <= 0:
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(f"test exceeded the {timeout:.0f}s per-test timeout "
+                    "(fallback SIGALRM net; see tests/conftest.py)",
+                    pytrace=True)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(int(math.ceil(timeout)))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -10,6 +10,7 @@ repopulated without manual intervention.
 """
 
 import os
+import time
 
 import pytest
 
@@ -167,6 +168,74 @@ def test_flaky_frames_are_absorbed_by_retry():
         cluster.close()
         proxy.stop()
         server.stop()
+
+
+def test_crash_between_prepare_and_commit_loses_nothing():
+    """The two-phase migration invariant, live: crash the migrator after
+    prepare (and a partial copy), kill the destination mid-copy, then
+    recover — at every point the record set matches the fault-free
+    oracle: zero lost, and zero duplicated once the migration completes.
+    """
+    from repro.live.client import LiveCacheClient
+    from repro.live.migration import migrate_range
+    from repro.live.protocol import ProtocolError
+
+    lo, hi = 0, RING // 2
+    keys = [k for k in keystream(120, keyspace=60) if lo <= k <= hi]
+    oracle = {k: derived(k) for k in keys}
+
+    src_server = LiveCacheServer(capacity_bytes=1 << 22).start()
+    dst_server = LiveCacheServer(capacity_bytes=1 << 22).start()
+    src = LiveCacheClient(src_server.address, timeout=1.0, retry=FAST_RETRY)
+    dst = LiveCacheClient(dst_server.address, timeout=1.0, retry=FAST_RETRY)
+    try:
+        for k, v in oracle.items():
+            src.put(k, v)
+
+        # --- crash 1: the *migrator* dies between prepare and commit,
+        # after copying half the records.  Nothing was deleted at the
+        # source (records are retained under the lease), so the oracle
+        # set is fully readable; the half-copied records are duplicates.
+        token, records = src.extract_prepare(lo, hi, lease_s=0.2)
+        for k, v in records[: len(records) // 2]:
+            dst.put(k, v)
+        # (migrator crashes here: token orphaned, commit never sent)
+        for k, v in oracle.items():
+            assert src.get(k) == v, "prepare must retain records"
+        time.sleep(0.3)               # the orphaned lease expires...
+        assert src.extract_commit(token) == 0   # ...so commit is a no-op
+        for k, v in oracle.items():
+            assert src.get(k) == v
+
+        # --- crash 2: the *destination* dies mid-copy.  migrate_range
+        # aborts the prepare; the source still owns every record.
+        dst_server.stop()
+        with pytest.raises((ProtocolError, OSError)):
+            migrate_range(src, dst.put, lo, hi)
+        for k, v in oracle.items():
+            assert src.get(k) == v, "aborted migration must retain records"
+        assert src.stats()["transfers_pending"] == 0  # aborted, not leaked
+
+        # --- recovery: restart the destination, run the migration to
+        # completion.  Exactly the oracle set, exactly once.
+        host, port = dst_server.address
+        dst_server = LiveCacheServer(host=host, port=port,
+                                     capacity_bytes=1 << 22).start()
+        dst.close()
+        dst = LiveCacheClient(dst_server.address, timeout=1.0,
+                              retry=FAST_RETRY)
+        moved = migrate_range(src, dst.put, lo, hi)
+        assert {k for k, _ in moved} == set(oracle)
+        src_left = src.sweep(lo, hi)
+        dst_now = dst.sweep(lo, hi)
+        assert src_left == [], "commit must delete the source copies"
+        assert {k: v for k, v in dst_now} == oracle  # zero lost
+        assert len(dst_now) == len(oracle)           # zero duplicated
+    finally:
+        src.close()
+        dst.close()
+        src_server.stop()
+        dst_server.stop()
 
 
 def test_health_sweep_detects_silent_death():

@@ -25,6 +25,7 @@ from repro.core.config import ExperimentTimings
 from repro.core.coordinator import Coordinator
 from repro.faults import (FaultEvent, FaultPlan, FaultyCache, RetryPolicy,
                           SimFaultInjector, call_with_retry)
+from repro.live.migration import TransferLedger, migrate_range
 from repro.services.base import SyntheticService
 from repro.sim.clock import SimClock
 from repro.sim.events import EventQueue
@@ -177,6 +178,113 @@ def test_retry_succeeds_within_budget(fail_count, seed):
         rng=random.Random(seed))
     assert result == "ok"
     assert state["calls"] == fail_count + 1
+
+
+# --------------------------------------------------------- two-phase moves
+
+
+class _CrashySource:
+    """An in-memory MigrationSource with a scriptable crash point.
+
+    Mirrors the server's ledger semantics exactly: prepare snapshots and
+    *retains*, commit deletes (idempotently), abort releases.  Crashes
+    are raised as OSError at the scripted phase so the property can walk
+    every point of the two-phase protocol.
+    """
+
+    def __init__(self, records: dict, crash: str | None):
+        self.records = dict(records)
+        self.ledger = TransferLedger(lease_s=1e9)
+        self.crash = crash          # None|"prepare"|"commit_before"|"commit_after"
+
+    def extract_prepare(self, lo, hi):
+        if self.crash == "prepare":
+            self.crash = None
+            raise OSError("source crashed during prepare")
+        recs = [(k, v) for k, v in sorted(self.records.items())
+                if lo <= k <= hi]
+        return self.ledger.prepare(lo, hi, recs), recs
+
+    def extract_commit(self, token):
+        if self.crash == "commit_before":
+            # crash before any deletion: records stay, token orphaned
+            self.crash = None
+            raise OSError("source crashed before commit applied")
+        xfer = self.ledger.commit(token)
+        removed = 0
+        if xfer is not None:
+            for key in xfer.keys:
+                if self.records.pop(key, None) is not None:
+                    removed += 1
+        if self.crash == "commit_after":
+            # deletion applied but the reply was lost
+            self.crash = None
+            raise OSError("reply lost after commit applied")
+        return removed
+
+    def extract_abort(self, token):
+        return self.ledger.abort(token)
+
+
+two_phase_st = st.fixed_dictionaries({
+    "seed": st.integers(0, 10**6),
+    "n_records": st.integers(1, 24),
+    "crash": st.sampled_from(
+        [None, "prepare", "commit_before", "commit_after"]),
+    "copy_fail_at": st.one_of(st.none(), st.integers(0, 23)),
+})
+
+
+@given(case=two_phase_st)
+@settings(max_examples=80, deadline=None)
+def test_two_phase_migration_never_loses_records(case):
+    """Crash the two-phase protocol at *every* phase — during prepare,
+    mid-copy, before the commit applies, after it applies but before the
+    reply — and the invariant holds: the union of source and destination
+    always covers the oracle (zero loss), and once a migration finally
+    completes the destination holds exactly the oracle with the source
+    range empty (zero duplicates)."""
+    rng = random.Random(case["seed"])
+    oracle = {rng.randrange(1000): f"v{i}".encode()
+              for i in range(case["n_records"])}
+    lo, hi = 0, 1000
+    src = _CrashySource(oracle, case["crash"])
+    dest: dict = {}
+    copy_fail_at = case["copy_fail_at"]
+
+    def dest_put(key, value, _state={"n": 0}):
+        if copy_fail_at is not None and _state["n"] == copy_fail_at:
+            _state["n"] += 1
+            raise OSError("destination crashed mid-copy")
+        _state["n"] += 1
+        dest[key] = value
+
+    def assert_no_loss() -> None:
+        """Invariant 1 (holds at *every* crash point): zero loss.  Every
+        oracle record survives in the union, right bytes on whichever
+        side holds it; duplicates must agree byte-for-byte."""
+        for key, value in oracle.items():
+            assert src.records.get(key, dest.get(key)) == value, (
+                f"record {key} lost after crash={case['crash']} "
+                f"copy_fail_at={copy_fail_at}")
+        for key in set(src.records) & set(dest):
+            assert src.records[key] == dest[key] == oracle[key]
+
+    # At most two scripted crashes can fire (one copy failure + one
+    # source crash), so the protocol must complete within three runs —
+    # checking the no-loss invariant after every crashed attempt.
+    for _ in range(3):
+        try:
+            migrate_range(src, dest_put, lo, hi)
+            break
+        except OSError:
+            assert_no_loss()
+    else:
+        pytest.fail("migration did not complete after crashes were spent")
+
+    # Invariant 2 (after completion): zero lost AND zero duplicated.
+    assert dest == oracle
+    assert not any(lo <= k <= hi for k in src.records)
 
 
 # -------------------------------------------------------------------- plan

@@ -243,10 +243,10 @@ class TestClientRetryRules:
             client.close()
             second.stop()
 
-    @pytest.mark.parametrize("op", ["sweep", "extract"])
-    def test_range_streams_never_retry(self, op):
-        """Regression: a stale connection must fail sweep/extract loudly
-        (zero retries) — replaying an extract would lose data."""
+    def test_legacy_extract_never_retries(self):
+        """Regression: a stale connection must fail the *legacy*
+        destructive extract loudly (zero retries) — replaying it would
+        lose the records a half-run already removed."""
         first = LiveCacheServer(capacity_bytes=1 << 20).start()
         host, port = first.address
         client = LiveCacheClient((host, port), retry=FAST)
@@ -257,10 +257,38 @@ class TestClientRetryRules:
         try:
             before = client.retries
             with pytest.raises((ProtocolError, OSError)):
-                getattr(client, op)(0, 100)  # stale socket, no retry
+                client.extract_legacy(0, 100)  # stale socket, no retry
             assert client.retries == before
             # the connection recovers for idempotent ops afterwards
             assert client.ping()
+        finally:
+            client.close()
+            second.stop()
+
+    @pytest.mark.parametrize("op", ["sweep", "extract_prepare"])
+    def test_nondestructive_range_streams_retry(self, op):
+        """The flip side: ``sweep`` (read-only) and ``extract_prepare``
+        (snapshot-and-retain) are safe to replay, so a stale connection
+        is absorbed by the retry policy instead of surfacing."""
+        first = LiveCacheServer(capacity_bytes=1 << 20).start()
+        host, port = first.address
+        client = LiveCacheClient((host, port), retry=FAST)
+        client.put(1, b"x")
+        first.stop()
+        second = LiveCacheServer(host=host, port=port,
+                                 capacity_bytes=1 << 20).start()
+        try:
+            second_client = LiveCacheClient((host, port))
+            second_client.put(5, b"y")
+            second_client.close()
+            before = client.retries
+            result = getattr(client, op)(0, 100)  # stale socket: retried
+            records = result[1] if op == "extract_prepare" else result
+            assert records == [(5, b"y")]
+            assert client.retries > before
+            # prepare retained the records — nothing was destroyed by
+            # the replay (the orphaned token simply lease-expires).
+            assert client.get(5) == b"y"
         finally:
             client.close()
             second.stop()

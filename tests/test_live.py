@@ -127,13 +127,28 @@ class TestSingleServer:
             client.close()
             second.stop()
 
-    def test_extract_does_not_retry_on_dead_server(self):
+    def test_extract_fails_cleanly_on_dead_server(self):
+        """``extract`` is now two-phase (prepare + commit): against a
+        dead server it surfaces a transport error once the retry budget
+        is spent — and, unlike the legacy op, a replay can never lose
+        records, because nothing is deleted until the commit."""
         server = LiveCacheServer(capacity_bytes=1 << 20).start()
         client = LiveCacheClient(server.address)
         client.put(1, b"x")
         server.stop()
         with pytest.raises((ProtocolError, OSError)):
             client.extract(0, 10)
+        client.close()
+
+    def test_legacy_extract_does_not_retry_on_dead_server(self):
+        server = LiveCacheServer(capacity_bytes=1 << 20).start()
+        client = LiveCacheClient(server.address)
+        client.put(1, b"x")
+        server.stop()
+        before = client.retries
+        with pytest.raises((ProtocolError, OSError)):
+            client.extract_legacy(0, 10)
+        assert client.retries == before
         client.close()
 
 

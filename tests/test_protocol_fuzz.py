@@ -84,6 +84,34 @@ def test_negative_declared_body(server):
     assert_still_serving(server)
 
 
+@pytest.mark.parametrize("declared", ["x", "12px", [3], {"n": 1}, None])
+def test_non_numeric_declared_body(server, declared):
+    """``"body"`` must be an int; a string/list/object declaration is a
+    framing violation (``ProtocolError``), not a crash — session closed,
+    accept loop intact."""
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "put", "key": 1, "body": declared})
+        expect_closed(sock)
+    assert_still_serving(server)
+
+
+def test_non_numeric_body_raises_protocol_error_client_side():
+    """``recv_frame`` itself must refuse the frame with ProtocolError
+    (not TypeError/ValueError) so callers treat it as a framing fault."""
+    import json
+
+    a, b = socket.socketpair()
+    try:
+        raw = json.dumps({"ok": True, "body": "not-a-number"}).encode()
+        a.sendall(struct.pack(">I", len(raw)) + raw)
+        b.settimeout(TIMEOUT)
+        with pytest.raises(ProtocolError, match="non-numeric"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
 def test_invalid_header_json(server):
     with raw_connect(server) as sock:
         raw = b"{not json at all"
