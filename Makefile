@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos overload bench bench-full figures export svg examples clean
+.PHONY: install test batch chaos overload bench bench-full figures export svg examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -26,6 +26,15 @@ overload:
 	REPRO_FAULT_SEED=20100607 PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),) \
 	$(PYTHON) -m pytest -m "slow or not slow" -q \
 		tests/test_overload.py benchmarks/bench_overload.py
+
+# Batched hot path: multi-op unit/cluster/property tests, the multi-op
+# fuzz cases, and the batch-size speedup bench (report lands in
+# benchmarks/results/bench_batch.txt).
+batch:
+	REPRO_FAULT_SEED=20100607 PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),) \
+	$(PYTHON) -m pytest -m "slow or not slow" -q \
+		tests/test_batch.py tests/test_protocol_fuzz.py \
+		benchmarks/bench_batch.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -52,6 +52,15 @@ class StepStats:
     deadline_misses: int = 0     #: requests whose deadline budget expired
     breaker_fastfails: int = 0   #: requests short-circuited by open breakers
     queue_depth: int = 0         #: peak admission-queue depth observed
+    # batched hot-path counters (populated by multi-key ops)
+    batches: int = 0             #: multi-key batches issued
+    batched_keys: int = 0        #: keys carried by those batches
+    stripe_contention: int = 0   #: peak server lock-stripe contention seen
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average keys per batch this step (0 when nothing batched)."""
+        return self.batched_keys / self.batches if self.batches else 0.0
 
     @property
     def shed_rate(self) -> float:
@@ -104,6 +113,8 @@ class MetricsRecorder:
         self.total_shed_background = 0
         self.total_deadline_misses = 0
         self.total_breaker_fastfails = 0
+        self.total_batches = 0
+        self.total_batched_keys = 0
         #: per-query latency log (enabled with ``keep_latencies=True``);
         #: needed for tail percentiles, which step means wash out.
         self.keep_latencies = keep_latencies
@@ -199,6 +210,22 @@ class MetricsRecorder:
         """Track the peak admission-queue depth seen this step."""
         s = self._current()
         s.queue_depth = max(s.queue_depth, depth)
+
+    # ------------------------------------------------------- batch hooks
+
+    def record_batch(self, n_keys: int) -> None:
+        """Account one multi-key batch carrying ``n_keys`` keys."""
+        s = self._current()
+        s.batches += 1
+        s.batched_keys += n_keys
+        self.total_batches += 1
+        self.total_batched_keys += n_keys
+
+    def record_stripe_contention(self, contended: int) -> None:
+        """Track the peak server lock-stripe contention counter observed
+        this step (servers report it cumulatively via ``stats``)."""
+        s = self._current()
+        s.stripe_contention = max(s.stripe_contention, contended)
 
     def end_step(self, *, step: int, node_count: int, used_bytes: int,
                  capacity_bytes: int, sim_time_s: float, cost_usd: float) -> StepStats:
@@ -309,7 +336,8 @@ class MetricsRecorder:
                   "sim_time_s", "cost_usd", "retries", "failovers",
                   "degraded", "recoveries", "recovery_s", "shed",
                   "shed_background", "deadline_misses",
-                  "breaker_fastfails", "queue_depth"]
+                  "breaker_fastfails", "queue_depth", "batches",
+                  "batched_keys", "stripe_contention"]
         lines = [",".join(fields)]
         for s in self.steps:
             lines.append(",".join(
@@ -342,4 +370,8 @@ class MetricsRecorder:
             "breaker_fastfails": self.total_breaker_fastfails,
             "shed_rate": ((self.total_shed + self.total_shed_background)
                           / self.total_queries if self.total_queries else 0.0),
+            "batches": self.total_batches,
+            "batched_keys": self.total_batched_keys,
+            "mean_batch_size": (self.total_batched_keys / self.total_batches
+                                if self.total_batches else 0.0),
         }

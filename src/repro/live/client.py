@@ -12,6 +12,15 @@ Deadline propagation: every single-server op accepts ``deadline_ms``, a
 remaining time budget forwarded on the wire so the server can refuse
 work the caller has already abandoned.  The budget also caps the
 client's own retry loop: no retry is scheduled past the deadline.
+
+Batched hot path: :meth:`LiveCacheClient.multi_get` /
+:meth:`~LiveCacheClient.multi_put` amortize the round-trip (one header
+plus ``n`` record frames, chunks pipelined up to ``pipeline_depth``
+deep), and :meth:`LiveClusterClient.get_many` /
+:meth:`~LiveClusterClient.put_many` scatter-gather those batches across
+ring owners in parallel, sharing one deadline budget and degrading per
+shard — an overloaded or dead shard costs misses for its keys, never
+the whole batch.
 """
 
 from __future__ import annotations
@@ -20,13 +29,54 @@ import random
 import socket
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 
 from repro.core.ring import ConsistentHashRing
 from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.live.migration import migrate_range
-from repro.live.protocol import (DeadlineError, OverloadedError,
-                                 ProtocolError, error_from_reply, recv_frame,
-                                 send_frame)
+from repro.live.protocol import (MAX_BATCH, DeadlineError, OverloadedError,
+                                 ProtocolError, ServerError, enable_nodelay,
+                                 FrameReader, error_from_reply, send_frame,
+                                 send_frames)
+
+
+@dataclass
+class MultiPutResult:
+    """Outcome of a batched put.
+
+    ``stored`` lists every key the server acknowledged as applied (in
+    apply order); ``freed`` maps overwritten keys to the bytes their old
+    values released.  ``error`` is ``None`` on full success, otherwise
+    the typed error that stopped the batch — everything in ``stored``
+    was durably applied *before* the error reply, so only the remainder
+    needs retrying (and a re-put of an applied record is idempotent).
+    """
+
+    stored: list[int] = field(default_factory=list)
+    freed: dict[int, int] = field(default_factory=dict)
+    error: ProtocolError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def acked(self) -> int:
+        return len(self.stored)
+
+
+def _strict_multi_put(client: "LiveCacheClient",
+                      records: list[tuple[int, bytes]]) -> None:
+    """Batched copy for migrations: all records applied, or raise.
+
+    ``multi_put`` reports partial state instead of raising; migration's
+    prepare→copy→commit needs the raise so a partial copy aborts the
+    prepare (source keeps everything) rather than committing loss.
+    """
+    result = client.multi_put(records)
+    if result.error is not None:
+        raise result.error
 
 
 class LiveCacheClient:
@@ -49,15 +99,28 @@ class LiveCacheClient:
 
     def __init__(self, address: tuple[str, int], timeout: float = 5.0,
                  retry: RetryPolicy | None = None,
-                 rng: random.Random | None = None) -> None:
+                 rng: random.Random | None = None,
+                 pipeline_depth: int = 4,
+                 max_batch: int = MAX_BATCH) -> None:
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
         self.address = address
         self.timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
+        #: batched requests kept in flight before draining replies
+        #: (replies correlate positionally: the protocol answers in
+        #: order on one connection).
+        self.pipeline_depth = pipeline_depth
+        #: records per wire batch; larger multi-ops are chunked and the
+        #: chunks pipelined.  Clamped to the protocol's MAX_BATCH.
+        self.max_batch = max(1, min(max_batch, MAX_BATCH))
         # Per-address deterministic jitter stream keeps tests reproducible
         # while still decorrelating distinct clients.
         self._rng = rng if rng is not None else random.Random(str(address))
         self._sock: socket.socket | None = socket.create_connection(
             address, timeout=timeout)
+        enable_nodelay(self._sock)
+        self._reader = FrameReader(self._sock)
         self._lock = threading.Lock()
         self.reconnects = 0
         #: idempotent requests re-attempted after a transport failure
@@ -86,6 +149,8 @@ class LiveCacheClient:
         if self._sock is None:
             self._sock = socket.create_connection(self.address,
                                                   timeout=self.timeout)
+            enable_nodelay(self._sock)
+            self._reader = FrameReader(self._sock)
             self.reconnects += 1
         return self._sock
 
@@ -104,7 +169,7 @@ class LiveCacheClient:
         sock = self._ensure_locked()
         try:
             send_frame(sock, self._stamp_deadline(header, expires_at), body)
-            return recv_frame(sock)
+            return self._reader.recv_frame()
         except (ProtocolError, OSError):
             # The stream is unusable (stale connection, mid-frame loss,
             # garbled reply): drop it so any retry starts clean.
@@ -178,6 +243,155 @@ class LiveCacheClient:
         self._ok(reply, "delete failed")
         return bool(reply.get("found")), int(reply.get("freed", 0))
 
+    # --------------------------------------------------------- batch ops
+
+    def _chunks(self, items: list) -> list[list]:
+        return [items[i:i + self.max_batch]
+                for i in range(0, len(items), self.max_batch)]
+
+    def _send_batch(self, sock: socket.socket, op: str, chunk: list,
+                    expires_at: float | None,
+                    priority: str | None) -> None:
+        header: dict = {"op": op, "n": len(chunk)}
+        if priority is not None:
+            header["priority"] = priority
+        frames: list[tuple[dict, bytes]] = [
+            (self._stamp_deadline(header, expires_at), b"")]
+        if op == "multi_put":
+            frames.extend(({"key": key}, value) for key, value in chunk)
+        else:
+            frames.extend(({"key": key}, b"") for key in chunk)
+        # One coalesced write: header + n record frames ride a few large
+        # segments instead of n+1 NODELAY-flushed packets.
+        send_frames(sock, frames)
+
+    def _pipelined_attempt(self, op: str, chunks: list[list], state: dict,
+                           expires_at: float | None,
+                           priority: str | None) -> None:
+        """One pipelined pass over the chunks not yet acknowledged.
+
+        Up to ``pipeline_depth`` batches ride the wire before the first
+        reply is drained; replies correlate positionally (the server
+        answers in order).  ``state["done"]`` — the count of fully
+        acknowledged leading chunks — survives transport failures, so a
+        retry resends only the unacknowledged suffix.  A typed refusal
+        (overloaded / deadline / overflow) is a complete reply on a
+        healthy connection: the remaining in-flight replies are drained
+        first, then the error is raised with the socket kept.
+        """
+        sock = self._ensure_locked()
+        error: ProtocolError | None = None
+        try:
+            pending: list[int] = []
+            i = state["done"]
+            while state["done"] < len(chunks) and (pending or error is None):
+                while (i < len(chunks) and error is None
+                       and len(pending) < self.pipeline_depth):
+                    self._send_batch(sock, op, chunks[i], expires_at,
+                                     priority)
+                    pending.append(i)
+                    i += 1
+                if not pending:
+                    break
+                reply, _ = self._reader.recv_frame()
+                idx = pending.pop(0)
+                if op == "multi_get" and reply.get("ok"):
+                    for _ in range(int(reply["count"])):
+                        head, body = self._reader.recv_frame()
+                        if head.get("found"):
+                            state["found"][int(head["key"])] = body
+                    if idx == state["done"]:
+                        state["done"] = idx + 1
+                elif op == "multi_put" and reply.get("ok"):
+                    state["stored"].extend(k for k, _ in chunks[idx])
+                    for key, freed in reply.get("freed", []):
+                        state["freed"][int(key)] = int(freed)
+                    if idx == state["done"]:
+                        state["done"] = idx + 1
+                elif error is None:
+                    # Partial apply: the reply names what *was* stored.
+                    if op == "multi_put":
+                        state["stored"].extend(
+                            int(k) for k in reply.get("stored", []))
+                        for key, freed in reply.get("freed", []):
+                            state["freed"][int(key)] = int(freed)
+                    error = error_from_reply(reply, f"{op} failed")
+        except (ProtocolError, OSError):
+            # Transport death mid-pipeline: the cursor position is
+            # unknown — drop the socket; state["done"] marks the suffix
+            # a retry must resend.
+            self._drop_locked()
+            raise
+        if error is not None:
+            raise error
+
+    def multi_get(self, keys: list[int], deadline_ms: float | None = None,
+                  priority: str | None = None) -> dict[int, bytes]:
+        """Batched fetch: returns ``{key: value}`` for the found keys.
+
+        One wire round-trip per ``max_batch`` keys (chunks pipelined up
+        to ``pipeline_depth`` deep) instead of one per key.  Retryable —
+        reads are idempotent, and a reconnect resends only the chunks
+        whose replies never arrived.
+        """
+        if not keys:
+            return {}
+        chunks = self._chunks(list(keys))
+        state: dict = {"done": 0, "found": {}}
+        expires_at = (time.monotonic() + deadline_ms / 1000.0
+                      if deadline_ms is not None else None)
+        with self._lock:
+            call_with_retry(
+                lambda: self._pipelined_attempt("multi_get", chunks, state,
+                                                expires_at, priority),
+                self.retry,
+                retry_on=(ProtocolError, OSError),
+                give_up_on=(OverloadedError, DeadlineError, ServerError),
+                rng=self._rng,
+                on_retry=self._note_retry,
+            )
+        return state["found"]
+
+    def multi_put(self, items: list[tuple[int, bytes]],
+                  deadline_ms: float | None = None,
+                  priority: str | None = None) -> MultiPutResult:
+        """Batched store; never raises — the :class:`MultiPutResult`
+        carries the partial-apply state a caller needs either way.
+
+        Transport failures retry the unacknowledged suffix under the
+        client's :class:`~repro.faults.retry.RetryPolicy` (puts are
+        idempotent: re-sending an applied record rewrites the same
+        derived bytes).  A server refusal (overloaded, deadline,
+        overflow) stops the batch and surfaces as ``result.error`` with
+        ``result.stored`` telling exactly which keys made it.
+        """
+        if not items:
+            return MultiPutResult()
+        chunks = self._chunks(list(items))
+        state: dict = {"done": 0, "stored": [], "freed": {}}
+        expires_at = (time.monotonic() + deadline_ms / 1000.0
+                      if deadline_ms is not None else None)
+        error: ProtocolError | None = None
+        with self._lock:
+            try:
+                call_with_retry(
+                    lambda: self._pipelined_attempt("multi_put", chunks,
+                                                    state, expires_at,
+                                                    priority),
+                    self.retry,
+                    retry_on=(ProtocolError, OSError),
+                    give_up_on=(OverloadedError, DeadlineError,
+                                ServerError),
+                    rng=self._rng,
+                    on_retry=self._note_retry,
+                )
+            except ProtocolError as exc:
+                error = exc
+            except OSError as exc:
+                error = ProtocolError(str(exc))
+                error.__cause__ = exc
+        return MultiPutResult(state["stored"], state["freed"], error)
+
     # --------------------------------------------------------- range ops
 
     def _ranged_attempt(self, header: dict) -> tuple[dict,
@@ -186,11 +400,11 @@ class LiveCacheClient:
         sock = self._ensure_locked()
         try:
             send_frame(sock, header)
-            reply, _ = recv_frame(sock)
+            reply, _ = self._reader.recv_frame()
             records = []
             if reply.get("ok"):
                 for _ in range(int(reply["count"])):
-                    head, body = recv_frame(sock)
+                    head, body = self._reader.recv_frame()
                     records.append((int(head["key"]), body))
         except (ProtocolError, OSError):
             # The stream died mid-frame: the cursor position is unknown,
@@ -307,6 +521,10 @@ class LiveClusterClient:
     See ``examples/live_cluster.py`` and ``tests/test_live.py``.
     """
 
+    #: upper bound on concurrent per-server branches of one batched
+    #: fan-out (the pool is shared across calls and created lazily).
+    FANOUT_WORKERS = 8
+
     def __init__(self, addresses: list[tuple[str, int]],
                  ring_range: int = 1 << 32,
                  retry: RetryPolicy | None = None,
@@ -320,6 +538,9 @@ class LiveClusterClient:
         #: buckets owned by servers that died, keyed by address — the
         #: state :meth:`restore_server` needs to undo a failover.
         self._failed: dict[tuple[str, int], list[int]] = {}
+        self._pool: ThreadPoolExecutor | None = None
+        #: shard branches of batched fan-outs that degraded to misses
+        self.batch_shard_failures = 0
         r = ring_range
         n = len(addresses)
         for i, addr in enumerate(addresses):
@@ -332,6 +553,9 @@ class LiveClusterClient:
 
     def close(self) -> None:
         """Close all server connections."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
         for client in self.clients.values():
             client.close()
 
@@ -379,6 +603,120 @@ class LiveClusterClient:
             self.ring.record_delete(self.ring.hash_key(key), freed)
         return found
 
+    # ---------------------------------------------------- batched fan-out
+
+    @staticmethod
+    def _remaining_ms(expires_at: float | None) -> float | None:
+        if expires_at is None:
+            return None
+        return (expires_at - time.monotonic()) * 1000.0
+
+    def _group_by_owner(self, entries) -> dict[tuple[str, int], list]:
+        """Split batch entries across ring owners (``h(k)`` routing)."""
+        groups: dict[tuple[str, int], list] = {}
+        for entry in entries:
+            key = entry[0] if isinstance(entry, tuple) else entry
+            groups.setdefault(self.address_for(key), []).append(entry)
+        return groups
+
+    def _fan_out(self, branches: list) -> list:
+        """Run ``branches`` (zero-arg callables), one per shard, through
+        the shared thread pool; a single branch runs inline (no pool
+        hop on the common single-shard case)."""
+        if len(branches) == 1:
+            return [branches[0]()]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.FANOUT_WORKERS,
+                thread_name_prefix="cluster-fanout")
+        return [f.result() for f in
+                [self._pool.submit(b) for b in branches]]
+
+    def get_many(self, keys, deadline_ms: float | None = None,
+                 priority: str | None = None) -> dict[int, bytes]:
+        """Scatter-gather fetch: group keys by ring owner, one pipelined
+        ``multi_get`` per server (in parallel), merge the results.
+
+        Degrades per shard: an unreachable, overloaded, or out-of-budget
+        shard contributes misses for *its* keys — the rest of the batch
+        still returns.  The ``deadline_ms`` budget is shared by the
+        whole fan-out, not per shard.
+        """
+        keys = list(keys)
+        if not keys:
+            return {}
+        expires_at = (time.monotonic() + deadline_ms / 1000.0
+                      if deadline_ms is not None else None)
+        groups = self._group_by_owner(keys)
+
+        def fetch(addr, group):
+            client = self.clients.get(addr)
+            if client is None:  # shard failed over mid-flight
+                return {}
+            try:
+                return client.multi_get(
+                    group, deadline_ms=self._remaining_ms(expires_at),
+                    priority=priority)
+            except (ProtocolError, OSError):
+                self.batch_shard_failures += 1
+                return {}
+
+        found: dict[int, bytes] = {}
+        for part in self._fan_out(
+                [lambda a=a, g=g: fetch(a, g) for a, g in groups.items()]):
+            found.update(part)
+        return found
+
+    def put_many(self, items, deadline_ms: float | None = None,
+                 priority: str | None = None,
+                 on_error: str = "degrade") -> int:
+        """Scatter-gather store: one ``multi_put`` per owning server, in
+        parallel, sharing one deadline budget.  Returns the number of
+        records actually stored (ring accounting covers exactly those).
+
+        ``on_error="degrade"`` (default) treats a failed shard as
+        dropped writes for its keys — the cache holds derived bytes, so
+        the cost is a future miss, never correctness.  Migration paths
+        use ``on_error="raise"``: the first shard error propagates after
+        accounting, so no copy-then-delete sequence can commit against
+        unacknowledged writes.
+        """
+        items = list(items)
+        if not items:
+            return 0
+        expires_at = (time.monotonic() + deadline_ms / 1000.0
+                      if deadline_ms is not None else None)
+        groups = self._group_by_owner(items)
+
+        def store(addr, group):
+            client = self.clients.get(addr)
+            if client is None:
+                return group, MultiPutResult(
+                    error=ProtocolError(f"shard {addr} not in cluster"))
+            return group, client.multi_put(
+                group, deadline_ms=self._remaining_ms(expires_at),
+                priority=priority)
+
+        stored_total = 0
+        first_error: ProtocolError | None = None
+        for group, result in self._fan_out(
+                [lambda a=a, g=g: store(a, g) for a, g in groups.items()]):
+            values = dict(group)
+            for key in result.stored:
+                freed = result.freed.get(key, 0)
+                hkey = self.ring.hash_key(key)
+                if freed:
+                    self.ring.record_delete(hkey, freed)
+                self.ring.record_insert(hkey, len(values[key]))
+                stored_total += 1
+            if result.error is not None:
+                self.batch_shard_failures += 1
+                if first_error is None:
+                    first_error = result.error
+        if first_error is not None and on_error == "raise":
+            raise first_error
+        return stored_total
+
     # -------------------------------------------------------------- growth
 
     def add_server(self, address: tuple[str, int], bucket: int) -> int:
@@ -398,7 +736,9 @@ class LiveClusterClient:
 
         lo, hi = self.ring.interval_segments(bucket)[-1]
         src = self.clients[old_owner_addr]
-        records = migrate_range(src, new_client.put, lo, hi)
+        records = migrate_range(
+            src, new_client.put, lo, hi,
+            dest_put_many=lambda recs: _strict_multi_put(new_client, recs))
         moved_bytes = sum(len(v) for _, v in records)
         if records:
             self.ring.transfer_load(
@@ -446,9 +786,10 @@ class LiveClusterClient:
             for key, value in records:
                 self.ring.record_delete(self.ring.hash_key(key), len(value))
             self.ring.remove_bucket(bucket)
-            for key, value in records:
-                self.put(key, value)
-                moved += 1
+            # Reinsert batched through normal routing (scatter-gather by
+            # new owner); strict — a drain must not commit against
+            # unacknowledged writes.
+            moved += self.put_many(records, on_error="raise")
             # Phase 2: every record has a new home — only now delete.
             for token, _ in prepared:
                 victim.extract_commit(token)
@@ -551,16 +892,14 @@ class LiveClusterClient:
             for key, value in records:
                 self.ring.record_delete(self.ring.hash_key(key), len(value))
             self.ring.reassign_bucket(bucket, address)
-            # Reinsert through normal routing so each record is
-            # re-accounted at its restored home; survivors' recomputes
-            # win over stale residents (same derived bytes either way).
+            # Reinsert (batched) through normal routing so each record
+            # is re-accounted at its restored home; survivors'
+            # recomputes win over stale residents (same derived bytes
+            # either way).  Strict: a restore is a migration.
             fresh = {key for key, _ in records}
-            for key, value in records:
-                self.put(key, value)
-                moved += 1
-            for key, value in stale:
-                if key not in fresh:
-                    self.put(key, value)
+            moved += self.put_many(records, on_error="raise")
+            self.put_many([(k, v) for k, v in stale if k not in fresh],
+                          on_error="raise")
             # Records are home — the interim owners may now delete.
             for token, _ in interim_prepared:
                 interim.extract_commit(token)

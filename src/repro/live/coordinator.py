@@ -254,6 +254,53 @@ class LiveCoordinator:
         first)."""
         return self.query(key, priority="background") is not None
 
+    def prefetch_many(self, keys) -> int:
+        """Warm many keys through the batched hot path.
+
+        One scatter-gather ``get_many`` finds what is already cached,
+        the gaps are computed, and the fills ride one ``put_many`` —
+        all tagged ``priority=background``, so an overloaded shard sheds
+        them early and a failed shard simply drops its share (counted
+        as ``shed_background``; prefetch is the first sacrifice, never
+        worth a degraded-mode recompute spree).  Returns the number of
+        keys cached when the call completes.
+        """
+        keys = list(dict.fromkeys(keys))
+        if not keys:
+            return 0
+        t0 = time.perf_counter()
+        deadline = self.deadline_ms
+        if self.metrics is not None:
+            self.metrics.record_batch(len(keys))
+        try:
+            cached = self.cluster.get_many(keys, deadline_ms=deadline,
+                                           priority="background")
+        except self.FAILURES:
+            cached = {}
+        self.stats.queries += len(keys)
+        self.stats.hits += len(cached)
+        missing = [k for k in keys if k not in cached]
+        self.stats.misses += len(missing)
+        items = [(k, self.compute(k)) for k in missing]
+        stored = 0
+        if items:
+            try:
+                stored = self.cluster.put_many(items, deadline_ms=deadline,
+                                               priority="background")
+            except self.FAILURES:
+                stored = 0
+        dropped = len(items) - stored
+        if dropped:
+            self.stats.shed_background += dropped
+            if self.metrics is not None:
+                for _ in range(dropped):
+                    self.metrics.record_shed(background=True)
+        if self.metrics is not None:
+            latency = (time.perf_counter() - t0) / max(len(keys), 1)
+            for k in keys:
+                self.metrics.record_query(hit=k in cached, latency_s=latency)
+        return len(cached) + stored
+
     # ----------------------------------------------------- fallback paths
 
     @staticmethod

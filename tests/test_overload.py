@@ -20,8 +20,8 @@ from repro.live.client import LiveCacheClient, LiveClusterClient
 from repro.live.coordinator import LiveCoordinator
 from repro.live.migration import TransferLedger, migrate_range
 from repro.live.protocol import (DeadlineError, OverloadedError,
-                                 ProtocolError, error_from_reply, recv_frame,
-                                 send_frame)
+                                 ProtocolError, ServerError, error_from_reply,
+                                 recv_frame, send_frame)
 from repro.live.server import AdmissionGate, LiveCacheServer
 
 NO_RETRY = RetryPolicy(max_attempts=1, deadline_s=2.0,
@@ -319,10 +319,13 @@ class TestErrorMapping:
                                "op failed")
         assert isinstance(exc, DeadlineError)
 
-    def test_other_errors_stay_generic(self):
+    def test_other_errors_map_to_server_error(self):
+        """Refusals without a dedicated type are ServerError — still a
+        ProtocolError, but marked as a deterministic, well-formed reply
+        (batched ops give up instead of resending the same records)."""
         exc = error_from_reply({"ok": False, "error": "overflow: full"},
                                "op failed")
-        assert type(exc) is ProtocolError
+        assert type(exc) is ServerError
         assert isinstance(exc, ProtocolError)
 
 

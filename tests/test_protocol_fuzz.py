@@ -15,7 +15,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.live.client import LiveCacheClient
-from repro.live.protocol import (MAX_BODY_BYTES, MAX_HEADER_BYTES,
+from repro.live.protocol import (MAX_BATCH, MAX_BODY_BYTES, MAX_HEADER_BYTES,
                                  ProtocolError, recv_frame, send_frame)
 from repro.live.server import LiveCacheServer
 
@@ -161,6 +161,112 @@ def test_abrupt_disconnect_mid_body(server):
     with raw_connect(server) as sock:
         send_frame(sock, {"op": "put", "key": 7, "body": 1000})
         sock.sendall(b"short")  # 5 of the promised 1000 bytes
+    assert_still_serving(server)
+
+
+# --------------------------------------------------- multi-op batch abuse
+
+
+def test_multi_put_declared_n_exceeds_frames_sent(server):
+    """Header declares 5 records but only 2 arrive before EOF: the
+    batch never half-applies and the session ends cleanly."""
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "multi_put", "n": 5})
+        send_frame(sock, {"key": 1}, body=b"one")
+        send_frame(sock, {"key": 2}, body=b"two")
+        sock.shutdown(socket.SHUT_WR)
+        expect_closed(sock)
+    assert_still_serving(server)
+    # The truncated batch applied nothing: all-or-nothing per frame read.
+    with LiveCacheClient(server.address, timeout=TIMEOUT) as client:
+        assert client.get(1) is None
+        assert client.get(2) is None
+
+
+def test_multi_get_declared_n_exceeds_frames_sent(server):
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "multi_get", "n": 3})
+        send_frame(sock, {"key": 1})
+        sock.shutdown(socket.SHUT_WR)
+        expect_closed(sock)
+    assert_still_serving(server)
+
+
+@pytest.mark.parametrize("n", [MAX_BATCH + 1, 10 * MAX_BATCH])
+def test_multi_op_n_over_max_batch(server, n):
+    """An oversized ``n`` is refused before any record frame is read —
+    error reply, then close (the declared frames can't be trusted)."""
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "multi_get", "n": n})
+        header, _ = recv_frame(sock)
+        assert header["ok"] is False
+        assert "batch" in header["error"]
+        expect_closed(sock)
+    assert_still_serving(server)
+
+
+@pytest.mark.parametrize("n", [-1, "ten", None, [4]])
+def test_multi_op_bad_n(server, n):
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "multi_put", "n": n})
+        header, _ = recv_frame(sock)
+        assert header["ok"] is False
+        expect_closed(sock)
+    assert_still_serving(server)
+
+
+def test_multi_op_empty_batch_is_legal(server):
+    """``n = 0`` is a degenerate but well-formed batch: ok reply, no
+    record frames, session stays usable."""
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "multi_put", "n": 0})
+        header, _ = recv_frame(sock)
+        assert header["ok"] is True and header["acked"] == 0
+        send_frame(sock, {"op": "multi_get", "n": 0})
+        header, _ = recv_frame(sock)
+        assert header["ok"] is True and header["count"] == 0
+        send_frame(sock, {"op": "ping"})
+        header, _ = recv_frame(sock)
+        assert header["pong"] is True
+
+
+def test_multi_put_truncated_mid_record_body(server):
+    """EOF inside a record frame's body (3 promised bytes of 1000)."""
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "multi_put", "n": 2})
+        send_frame(sock, {"key": 1}, body=b"ok")
+        send_frame(sock, {"key": 2, "body": 1000})
+        sock.sendall(b"tru")
+        sock.shutdown(socket.SHUT_WR)
+        expect_closed(sock)
+    assert_still_serving(server)
+
+
+def test_multi_put_record_frame_missing_key(server):
+    """A record frame without ``key`` poisons the batch: error reply,
+    then the session is torn down (its framing can't be trusted) with
+    nothing applied."""
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "multi_put", "n": 2})
+        send_frame(sock, {"key": 41}, body=b"fine")
+        send_frame(sock, {"note": "no key"}, body=b"bad")
+        header, _ = recv_frame(sock)
+        assert header["ok"] is False
+        expect_closed(sock)
+    assert_still_serving(server)
+    with LiveCacheClient(server.address, timeout=TIMEOUT) as client:
+        assert client.get(41) is None
+
+
+def test_multi_get_garbage_record_frame(server):
+    """An undecodable record frame (here: a UTF-16 BOM that defeats
+    JSON's encoding sniff) is a framing violation — the session ends
+    without a reply rather than desyncing on a half-read batch."""
+    with raw_connect(server) as sock:
+        send_frame(sock, {"op": "multi_get", "n": 2})
+        raw = b"\xff\xfe not json"
+        sock.sendall(struct.pack(">I", len(raw)) + raw)
+        expect_closed(sock)
     assert_still_serving(server)
 
 
