@@ -2,13 +2,20 @@
 
 PYTHON ?= python
 
-.PHONY: install test batch chaos overload bench bench-full figures export svg examples clean
+.PHONY: install test check batch chaos overload bench bench-full figures export svg examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Consistency gauntlet: one seeded nemesis run (overload + split +
+# merge + kill/restore mid-history) against a live cluster, checked
+# for per-key linearizability.  Exit 1 on any violation.
+check:
+	REPRO_FAULT_SEED=20100607 PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),) \
+	$(PYTHON) -m repro check --seed 20100607 --clients 3 --ops 80 --nemesis mix
 
 # Fault suites (chaos + property + fuzz), including the slow live tests
 # that tier-1 skips.  REPRO_FAULT_SEED pins the fault lottery.

@@ -9,7 +9,6 @@ one bucket interval; mod-N moves almost everything — Ablation A).
 """
 
 from benchmarks._util import emit
-from repro.core.config import CacheConfig
 from repro.core.directory import DirectoryCache
 from repro.experiments.configs import fig3_params
 from repro.experiments.harness import SystemBundle, build_elastic, make_trace, run_trace

@@ -8,9 +8,7 @@ relocates only the new bucket's interval.
 import numpy as np
 
 from benchmarks._util import emit
-from repro.core.config import CacheConfig
 from repro.core.ring import ConsistentHashRing
-from repro.core.static_cache import StaticCooperativeCache
 from repro.experiments.report import ascii_table
 
 

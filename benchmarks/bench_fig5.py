@@ -7,7 +7,6 @@ the intensive period ends at step 300 (except m=400, whose window still
 covers it).
 """
 
-import numpy as np
 
 from benchmarks._util import emit
 from repro.experiments.fig5 import run_fig5

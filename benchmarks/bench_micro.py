@@ -73,7 +73,7 @@ def test_morton_vectorized_speedup(benchmark):
 
     import time
     t0 = time.perf_counter()
-    scalar = [int(morton_encode3(int(x), int(y), int(t)))
+    _scalar = [int(morton_encode3(int(x), int(y), int(t)))
               for x, y, t in coords[:1000].tolist()]
     scalar_per_key = (time.perf_counter() - t0) / 1000
     vector_per_key = benchmark.stats.stats.mean / N

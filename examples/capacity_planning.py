@@ -13,7 +13,6 @@ simulation.  This example:
 Run:  python examples/capacity_planning.py
 """
 
-import numpy as np
 
 from repro.analysis.cost import cost_breakdown
 from repro.experiments.configs import ExperimentParams

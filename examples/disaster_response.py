@@ -10,9 +10,8 @@ under-provisions (low hit rate at peak) or over-pays (idle nodes after).
 Run:  python examples/disaster_response.py
 """
 
-import numpy as np
 
-from repro import NetworkModel, RateSchedule, SimulatedCloud
+from repro import RateSchedule
 from repro.experiments.configs import ExperimentParams
 from repro.core.config import ContractionConfig, EvictionConfig
 from repro.experiments.harness import build_elastic, build_static, make_trace, run_trace

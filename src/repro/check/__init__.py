@@ -1,0 +1,42 @@
+"""Consistency-checking harness — a mini-Jepsen for the live cluster.
+
+The elastic operations the paper centers on (GBA splits, contraction
+merges, failover and restore) are exactly the moments where acked
+writes can silently vanish or reorder.  This package turns "we believe
+the migration protocol is safe" into a checked property:
+
+* :mod:`repro.check.history` — a thread-safe **history recorder**:
+  every cluster op becomes an invocation/response event pair with
+  logical timestamps and indeterminate-outcome tracking.
+* :mod:`repro.check.linearize` — a **per-key register linearizability
+  checker**: Wing–Gong search with P-compositionality (partition by
+  key, check each register independently) plus cheap lost-ack /
+  stale-read / phantom-read detectors for fast triage, and a
+  delta-debugging minimizer for counterexamples.
+* :mod:`repro.check.nemesis` — schedules kill/restore, GBA splits,
+  contraction merges, and overload sheds *mid-history* by extending
+  the :mod:`repro.faults` plan/driver machinery.
+* :mod:`repro.check.runner` — seeded concurrent clients + nemesis +
+  checker = a verdict (``repro check`` on the CLI, ``make check``).
+"""
+
+from repro.check.history import History, Op, RecordingClient
+from repro.check.linearize import (CheckResult, Violation, check_history,
+                                   linearizable_key)
+from repro.check.nemesis import ClusterNemesis, nemesis_plan
+from repro.check.runner import CheckConfig, CheckReport, run_check
+
+__all__ = [
+    "CheckConfig",
+    "CheckReport",
+    "CheckResult",
+    "ClusterNemesis",
+    "History",
+    "Op",
+    "RecordingClient",
+    "Violation",
+    "check_history",
+    "linearizable_key",
+    "nemesis_plan",
+    "run_check",
+]

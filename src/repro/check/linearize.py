@@ -1,0 +1,325 @@
+"""Per-key register linearizability checking (Wing–Gong search).
+
+The model is a single register per key:
+
+* a write ``w(k, v)`` sets the register to ``v``;
+* a read ``r(k) -> v`` must observe the register's current value;
+* a read ``r(k) -> nil`` (miss) is legal only while the register is in
+  its initial unwritten state — unless the check runs **lossy**, where
+  a miss is always legal (a crash nemesis legitimately destroys
+  records; what lossy mode still forbids is observing a *stale* or
+  never-written value).
+
+P-compositionality does the heavy lifting: linearizability of a
+register history is equivalent to linearizability of every per-key
+sub-history, so the exponential Wing–Gong search only ever runs on one
+key's (small) history.  Within a key the search is the classic one: at
+each step, any *pending* op whose invocation precedes every pending
+op's response may linearize next; memoizing on (set of linearized ops,
+register state) keeps repeated subproblems from re-exploding.
+
+Indeterminate outcomes are first-class: a write whose outcome is
+``unknown`` gets an effective response time of +∞ (it stays "pending"
+forever, so it may linearize at any point after its invocation) and is
+*optional* — the search succeeds once every definite op is linearized,
+leaving unapplied unknowns behind.  A later read that observed an
+unknown write's value simply forces the search to linearize it.
+
+For fast triage (and better violation names than "search failed"),
+three cheap detectors run first: **lost-ack** (a miss after an acked
+write completed, strict mode), **phantom read** (a value no write ever
+could have produced), and **stale read** (requires per-key-unique
+write values: the observed value's write was superseded by an acked
+write that completed before the read began).  Each produces an
+already-minimal counterexample; full-search failures are minimized by
+delta debugging against the search itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.check.history import History, Op
+
+INF = float("inf")
+
+#: search-state budget per key before the checker declares the key
+#: undecided (never a violation) — a safety valve; honest workload
+#: histories stay far below it.
+DEFAULT_STATE_BUDGET = 400_000
+
+
+@dataclass
+class Violation:
+    """One per-key consistency violation with a minimal witness."""
+
+    key: int
+    reason: str          #: lost_ack | phantom_read | stale_read | nonlinearizable
+    detail: str
+    ops: list[Op] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"key {self.key}: {self.reason} — {self.detail}"]
+        lines += ["  " + op.describe()
+                  for op in sorted(self.ops, key=lambda o: o.inv)]
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckResult:
+    """Verdict over a whole history."""
+
+    violations: list[Violation] = field(default_factory=list)
+    keys_checked: int = 0
+    ops_checked: int = 0
+    #: keys whose search exhausted the state budget (not violations)
+    undecided_keys: list[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def verdict(self) -> str:
+        return "linearizable" if self.ok else "violation"
+
+    def describe(self) -> str:
+        head = (f"{self.verdict}: {self.ops_checked} ops over "
+                f"{self.keys_checked} keys")
+        if self.undecided_keys:
+            head += f" ({len(self.undecided_keys)} undecided)"
+        if self.ok:
+            return head
+        return "\n\n".join([head] + [v.describe() for v in self.violations])
+
+
+# --------------------------------------------------------------- prepare
+
+
+def _prepare(ops: Iterable[Op]) -> list[Op]:
+    """The checkable subset of a per-key history.
+
+    Failed writes never applied and failed reads observed nothing —
+    both can be dropped without changing the set of legal behaviours.
+    Reads with ``unknown`` outcome carry no trustworthy observation
+    either, so they are dropped too.
+    """
+    return [op for op in ops
+            if not (op.kind == "w" and op.outcome == "fail")
+            and not (op.kind == "r" and op.outcome != "ok")]
+
+
+def _effective_res(op: Op) -> float:
+    """Unknown writes may take effect arbitrarily late (or never)."""
+    if op.kind == "w" and op.outcome == "unknown":
+        return INF
+    return op.res
+
+
+# --------------------------------------------------------- fast triage
+
+
+def _find_lost_ack(ops: list[Op]) -> Violation | None:
+    """Strict mode: a miss after *any* acked write completed.
+
+    Without deletes the register never returns to its unwritten state,
+    so ``w ok`` completing before ``r -> nil`` begins is a
+    contradiction no interleaving can explain.
+    """
+    acked = [op for op in ops if op.kind == "w" and op.outcome == "ok"]
+    if not acked:
+        return None
+    first_done = min(acked, key=lambda w: w.res)
+    for op in ops:
+        if op.kind == "r" and op.value is None and op.inv > first_done.res:
+            return Violation(
+                key=op.key, reason="lost_ack",
+                detail=(f"read observed a miss although the write of "
+                        f"{first_done.value!r} was acknowledged before the "
+                        f"read began"),
+                ops=[first_done, op])
+    return None
+
+
+def _find_phantom(ops: list[Op]) -> Violation | None:
+    """A read observing a value no write (even an unknown one) wrote."""
+    writable = {op.value for op in ops if op.kind == "w"}
+    for op in ops:
+        if op.kind == "r" and op.value is not None \
+                and op.value not in writable:
+            return Violation(
+                key=op.key, reason="phantom_read",
+                detail=f"read observed {op.value!r}, which no recorded "
+                       f"write produced",
+                ops=[op])
+    return None
+
+
+def _find_stale(ops: list[Op]) -> Violation | None:
+    """With unique write values: a read observing a superseded value.
+
+    If the read's source write ``w`` finished, and an acked write
+    ``w2`` began after ``w`` finished and itself finished before the
+    read began, every linearization orders ``w < w2 < read`` — the
+    read cannot legally still observe ``w``'s value.
+    """
+    writes: dict[bytes, Op] = {}
+    for op in ops:
+        if op.kind == "w":
+            if op.value in writes:      # duplicate values: not applicable
+                return None
+            writes[op.value] = op
+    for op in ops:
+        if op.kind != "r" or op.value is None:
+            continue
+        source = writes.get(op.value)
+        if source is None:
+            continue
+        src_res = _effective_res(source)
+        for w2 in writes.values():
+            if (w2 is not source and w2.outcome == "ok"
+                    and w2.inv > src_res and w2.res < op.inv):
+                return Violation(
+                    key=op.key, reason="stale_read",
+                    detail=(f"read observed {op.value!r} although the "
+                            f"strictly later write of {w2.value!r} was "
+                            f"acknowledged before the read began"),
+                    ops=[source, w2, op])
+    return None
+
+
+# ------------------------------------------------------ Wing–Gong search
+
+
+def linearizable_key(ops: list[Op], lossy: bool = False,
+                     state_budget: int = DEFAULT_STATE_BUDGET
+                     ) -> bool | None:
+    """Is this (already prepared) per-key history linearizable?
+
+    Returns ``True``/``False``, or ``None`` if the state budget ran
+    out (undecided).  Iterative depth-first Wing–Gong with memoization
+    on ``(linearized-ops bitmask, register state)``.
+    """
+    n = len(ops)
+    if n == 0:
+        return True
+    inv = [op.inv for op in ops]
+    res = [_effective_res(op) for op in ops]
+    is_read = [op.kind == "r" for op in ops]
+    # Intern values: state -1 = initial (unwritten); reads carry the
+    # id they must observe (-1 for a miss).
+    value_ids: dict[bytes, int] = {}
+    val = []
+    for op in ops:
+        if op.value is None:
+            val.append(-1)
+        else:
+            val.append(value_ids.setdefault(op.value, len(value_ids)))
+    # Ops that *must* linearize: everything definite.  Unknown writes
+    # are optional.
+    need = 0
+    for i, op in enumerate(ops):
+        if op.outcome == "ok":
+            need |= 1 << i
+    seen: set[tuple[int, int]] = set()
+    stack: list[tuple[int, int]] = [(0, -1)]
+    budget = state_budget
+    while stack:
+        mask, state = stack.pop()
+        if mask & need == need:
+            return True
+        if (mask, state) in seen:
+            continue
+        seen.add((mask, state))
+        budget -= 1
+        if budget <= 0:
+            return None
+        pending = [i for i in range(n) if not mask & (1 << i)]
+        frontier = min(res[i] for i in pending)
+        for i in pending:
+            if inv[i] >= frontier:
+                continue
+            if is_read[i]:
+                if val[i] == -1:
+                    # A miss: legal before the first write linearizes,
+                    # or always under a lossy (crash) nemesis.
+                    if state != -1 and not lossy:
+                        continue
+                    stack.append((mask | 1 << i, state))
+                elif val[i] == state:
+                    stack.append((mask | 1 << i, state))
+            else:
+                stack.append((mask | 1 << i, val[i]))
+    return False
+
+
+# --------------------------------------------------------- minimization
+
+
+def minimize(ops: list[Op],
+             still_failing: Callable[[list[Op]], bool]) -> list[Op]:
+    """Shrink a failing history to a (locally) minimal witness.
+
+    Greedy delta debugging: repeatedly try to drop chunks (halving the
+    chunk size down to single ops) while the predicate keeps failing.
+    The result is 1-minimal: removing any single remaining op makes
+    the history pass.
+    """
+    size = max(1, len(ops) // 2)
+    while size >= 1:
+        i = 0
+        while i < len(ops) and len(ops) > 1:
+            candidate = ops[:i] + ops[i + size:]
+            if candidate and still_failing(candidate):
+                ops = candidate
+            else:
+                i += size
+        size //= 2
+    return ops
+
+
+# ------------------------------------------------------------ top level
+
+
+def check_history(history: History | dict[int, list[Op]],
+                  lossy: bool = False,
+                  state_budget: int = DEFAULT_STATE_BUDGET) -> CheckResult:
+    """Check a whole history key by key.
+
+    Parameters
+    ----------
+    history:
+        A :class:`~repro.check.history.History` or an already
+        partitioned ``{key: [ops]}`` mapping.
+    lossy:
+        Permit misses at any time (run under a crash nemesis, where
+        records legitimately die with a node).  Stale and phantom
+        reads remain violations.
+    """
+    per_key = history.by_key() if isinstance(history, History) else history
+    result = CheckResult(keys_checked=len(per_key))
+    for key in sorted(per_key):
+        ops = _prepare(per_key[key])
+        result.ops_checked += len(ops)
+        violation = _find_phantom(ops)
+        if violation is None and not lossy:
+            violation = _find_lost_ack(ops)
+        if violation is None:
+            violation = _find_stale(ops)
+        if violation is not None:
+            result.violations.append(violation)
+            continue
+        verdict = linearizable_key(ops, lossy=lossy,
+                                   state_budget=state_budget)
+        if verdict is None:
+            result.undecided_keys.append(key)
+        elif verdict is False:
+            witness = minimize(
+                ops, lambda sub: linearizable_key(
+                    sub, lossy=lossy, state_budget=state_budget) is False)
+            result.violations.append(Violation(
+                key=key, reason="nonlinearizable",
+                detail="no linearization of the remaining ops exists",
+                ops=witness))
+    return result

@@ -1,0 +1,164 @@
+"""Nemesis schedules: elastic operations injected *mid-history*.
+
+The interesting consistency bugs live inside the cluster's topology
+transitions — a GBA split copying a range while writers race it, a
+contraction merge draining a server, a failover reassigning buckets.
+A *nemesis* is the component that forces those transitions to happen
+while a recorded workload is running, so the checker gets histories
+that actually cross them.
+
+:class:`ClusterNemesis` extends the live fault driver with the elastic
+kinds (``split``/``merge``/``overload`` from
+:data:`repro.faults.plan.ELASTIC_KINDS`); the timeline unit is the
+**completed-op count** of the recorded history, so schedules scale with
+workload size rather than wall-clock speed.  :func:`nemesis_plan`
+builds the named schedules the runner and CLI expose.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.driver import LiveFaultDriver
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+class ClusterNemesis(LiveFaultDriver):
+    """A fault driver that also speaks the elastic kinds.
+
+    Parameters (beyond :class:`~repro.faults.driver.LiveFaultDriver`):
+
+    split:
+        ``split()`` — grow the cluster by one server, migrating a
+        bucket range to it (the runner wires this to a GBA-style
+        split + :meth:`~repro.live.client.LiveClusterClient.add_server`).
+    merge:
+        ``merge()`` — contract by one server, draining it to its ring
+        successors (``remove_server``).
+    overload:
+        ``overload(node, active)`` — saturate (``active=True``) or
+        relieve (``False``) node ``node``'s admission gate so the
+        workload sees real sheds mid-history.
+    """
+
+    def __init__(self, plan: FaultPlan, *,
+                 kill: Callable[[int], None] | None = None,
+                 restore: Callable[[int], None] | None = None,
+                 split: Callable[[], None] | None = None,
+                 merge: Callable[[], None] | None = None,
+                 overload: Callable[[int, bool], None] | None = None,
+                 proxies=()) -> None:
+        super().__init__(plan, kill=kill, restore=restore, proxies=proxies)
+        self.split = split
+        self.merge = merge
+        self.overload = overload
+
+    def _apply(self, event: FaultEvent) -> None:
+        kind = event.kind
+        if kind == "split":
+            if self.split is None:
+                raise RuntimeError("plan splits but no split callback")
+            self.split()
+        elif kind == "merge":
+            if self.merge is None:
+                raise RuntimeError("plan merges but no merge callback")
+            self.merge()
+        elif kind == "overload":
+            if self.overload is None:
+                raise RuntimeError("plan overloads but no overload callback")
+            self.overload(event.node, True)
+            self._window(
+                event, lambda n=event.node: self.overload(n, False))
+        else:
+            super()._apply(event)
+
+
+#: named schedules accepted by :func:`nemesis_plan`, ``repro check
+#: --nemesis`` and the chaos regression suite
+NEMESES = ("mix", "split", "merge", "killrestore", "crash", "overload",
+           "none", "random")
+
+#: nemeses whose histories must be checked **lossy** (real process
+#: death destroys records; misses become legal at any time)
+LOSSY_NEMESES = ("crash",)
+
+
+def nemesis_plan(name: str, total_ops: int, rng=None) -> FaultPlan:
+    """Build a named nemesis schedule over a ``total_ops``-long workload.
+
+    ``at`` positions are fractions of the expected op count, so the
+    same schedule shape works for a 200-op smoke run and a 5000-op
+    soak.  ``kill`` events here are *partition-style* (the runner keeps
+    the wounded server's process alive as a forwarding source), so
+    every schedule except ``crash`` is checked in strict mode.
+    """
+    if name not in NEMESES:
+        raise ValueError(f"unknown nemesis {name!r} (one of {NEMESES})")
+    frac = lambda f: max(1.0, f * total_ops)  # noqa: E731
+    if name == "none":
+        return FaultPlan([])
+    if name == "split":
+        return FaultPlan([FaultEvent(at=frac(0.3), kind="split")])
+    if name == "merge":
+        return FaultPlan([
+            FaultEvent(at=frac(0.25), kind="split"),
+            FaultEvent(at=frac(0.55), kind="merge"),
+        ])
+    if name == "killrestore":
+        return FaultPlan([
+            FaultEvent(at=frac(0.3), kind="crash", node=1),
+            FaultEvent(at=frac(0.6), kind="recover", node=1),
+        ])
+    if name == "crash":
+        # Real process death — the runner boots a fresh empty server on
+        # the same port before restore; check lossy.
+        return FaultPlan([
+            FaultEvent(at=frac(0.3), kind="crash", node=1),
+            FaultEvent(at=frac(0.6), kind="recover", node=1),
+        ])
+    if name == "overload":
+        return FaultPlan([
+            FaultEvent(at=frac(0.3), kind="overload", node=0,
+                       duration=frac(0.2)),
+        ])
+    if name == "random":
+        if rng is None:
+            raise ValueError("random nemesis needs an rng")
+        events: list[FaultEvent] = []
+        cursor = 0.15
+        kinds = ("split", "merge", "killrestore", "overload")
+        splits = 0
+        while cursor < 0.8:
+            kind = kinds[rng.randrange(len(kinds))]
+            if kind == "split":
+                events.append(FaultEvent(at=frac(cursor), kind="split"))
+                splits += 1
+            elif kind == "merge":
+                if splits == 0:     # never contract below the base fleet
+                    cursor += 0.05
+                    continue
+                events.append(FaultEvent(at=frac(cursor), kind="merge"))
+                splits -= 1
+            elif kind == "killrestore":
+                gap = 0.1 + 0.1 * rng.random()
+                events.append(FaultEvent(at=frac(cursor), kind="crash",
+                                         node=1))
+                events.append(FaultEvent(at=frac(cursor + gap),
+                                         kind="recover", node=1))
+                cursor += gap
+            else:
+                events.append(FaultEvent(
+                    at=frac(cursor), kind="overload", node=0,
+                    duration=frac(0.08 + 0.08 * rng.random())))
+            cursor += 0.1 + 0.15 * rng.random()
+        return FaultPlan(events)
+    # "mix": the full gauntlet — shed, grow, contract, failover —
+    # spaced so each transition's migration can finish before the next.
+    return FaultPlan([
+        FaultEvent(at=frac(0.10), kind="overload", node=0,
+                   duration=frac(0.12)),
+        FaultEvent(at=frac(0.30), kind="split"),
+        FaultEvent(at=frac(0.50), kind="merge"),
+        FaultEvent(at=frac(0.65), kind="crash", node=1),
+        FaultEvent(at=frac(0.85), kind="recover", node=1),
+    ])

@@ -11,6 +11,10 @@ Commands
     Drive one system (gba or static-N) over a workload and print the
     summary — the quickest way to poke at parameters without writing
     code.
+``check``
+    Boot a live cluster, hammer it with concurrent clients while a
+    nemesis schedule injects faults, then check the recorded history
+    for per-key linearizability.  Exit status 1 on a violation.
 """
 
 from __future__ import annotations
@@ -236,6 +240,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import CheckConfig, run_check
+
+    config = CheckConfig(seed=args.seed, clients=args.clients,
+                         ops_per_client=args.ops, servers=args.servers,
+                         keyspace=args.keyspace, nemesis=args.nemesis)
+    report = run_check(config)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -318,6 +333,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--window", type=int, default=100)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.set_defaults(func=_cmd_run)
+
+    from repro.check.nemesis import NEMESES
+
+    p_check = sub.add_parser(
+        "check", help="run a nemesis schedule against a live cluster and "
+                      "check the recorded history for per-key linearizability")
+    p_check.add_argument("--seed", type=int, default=0)
+    p_check.add_argument("--clients", type=int, default=3,
+                         help="concurrent workload clients")
+    p_check.add_argument("--ops", type=int, default=80,
+                         help="operations per client")
+    p_check.add_argument("--servers", type=int, default=3,
+                         help="initial cluster size")
+    p_check.add_argument("--keyspace", type=int, default=16,
+                         help="distinct keys the workload touches")
+    p_check.add_argument("--nemesis", choices=NEMESES, default="mix",
+                         help="fault schedule to run mid-history")
+    p_check.set_defaults(func=_cmd_check)
     return parser
 
 

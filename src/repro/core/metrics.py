@@ -16,6 +16,7 @@ derives the two speedup views the figures use:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -94,9 +95,17 @@ class MetricsRecorder:
     Usage: call :meth:`record_query` per query and the other ``record_*``
     hooks as events occur; call :meth:`end_step` once per time step with a
     state snapshot.  Series are materialized lazily.
+
+    Thread safety: the live stack calls the ``record_*`` hooks from many
+    worker threads at once (striped servers, pipelined clients), so every
+    hook and every snapshot takes one internal lock.  Without it, two
+    threads racing ``_current()`` can each create a StepStats and orphan
+    one, ``+=`` loses increments, and ``summary()`` can observe
+    ``hits + misses != queries`` mid-update.
     """
 
     def __init__(self, keep_latencies: bool = False) -> None:
+        self._lock = threading.RLock()  # reentrant: summary() -> series()
         self.steps: list[StepStats] = []
         self._open: StepStats | None = None
         self.total_queries = 0
@@ -129,123 +138,141 @@ class MetricsRecorder:
 
     def record_query(self, *, hit: bool, latency_s: float) -> None:
         """Account one completed query."""
-        s = self._current()
-        s.queries += 1
-        s.latency_sum_s += latency_s
-        if hit:
-            s.hits += 1
-        else:
-            s.misses += 1
-        self.total_queries += 1
-        self.total_hits += int(hit)
-        self.total_misses += int(not hit)
-        self.total_latency_s += latency_s
-        if self.keep_latencies:
-            self._latencies.append(latency_s)
+        with self._lock:
+            s = self._current()
+            s.queries += 1
+            s.latency_sum_s += latency_s
+            if hit:
+                s.hits += 1
+            else:
+                s.misses += 1
+            self.total_queries += 1
+            self.total_hits += int(hit)
+            self.total_misses += int(not hit)
+            self.total_latency_s += latency_s
+            if self.keep_latencies:
+                self._latencies.append(latency_s)
 
     def record_eviction(self, evicted: int, candidates: int) -> None:
         """Account one slice-expiry eviction batch."""
-        s = self._current()
-        s.evictions += evicted
-        s.eviction_candidates += candidates
-        self.total_evictions += evicted
+        with self._lock:
+            s = self._current()
+            s.evictions += evicted
+            s.eviction_candidates += candidates
+            self.total_evictions += evicted
 
     def record_split(self, allocated: bool) -> None:
         """Account one GBA split (and its allocation, if any)."""
-        s = self._current()
-        s.splits += 1
-        s.allocations += int(allocated)
+        with self._lock:
+            s = self._current()
+            s.splits += 1
+            s.allocations += int(allocated)
 
     def record_merge(self) -> None:
         """Account one contraction merge."""
-        self._current().merges += 1
+        with self._lock:
+            self._current().merges += 1
 
     # ------------------------------------------------------- fault hooks
 
     def record_retry(self, count: int = 1) -> None:
         """Account idempotent-request retries (transport flaps)."""
-        self._current().retries += count
-        self.total_retries += count
+        with self._lock:
+            self._current().retries += count
+            self.total_retries += count
 
     def record_failover(self) -> None:
         """Account one shard condemned and routed around."""
-        self._current().failovers += 1
-        self.total_failovers += 1
+        with self._lock:
+            self._current().failovers += 1
+            self.total_failovers += 1
 
     def record_degraded(self) -> None:
         """Account one query served by recompute around a dead shard."""
-        self._current().degraded += 1
-        self.total_degraded += 1
+        with self._lock:
+            self._current().degraded += 1
+            self.total_degraded += 1
 
     def record_recovery(self, downtime_s: float = 0.0) -> None:
         """Account one failed shard re-admitted after ``downtime_s``."""
-        self._current().recoveries += 1
-        self._current().recovery_s += downtime_s
-        self.total_recoveries += 1
-        self.total_recovery_s += downtime_s
+        with self._lock:
+            s = self._current()
+            s.recoveries += 1
+            s.recovery_s += downtime_s
+            self.total_recoveries += 1
+            self.total_recovery_s += downtime_s
 
     # ---------------------------------------------------- overload hooks
 
     def record_shed(self, background: bool = False) -> None:
         """Account one request shed by overload protection (a server's
         admission queue was full, or a degraded-mode background drop)."""
-        if background:
-            self._current().shed_background += 1
-            self.total_shed_background += 1
-        else:
-            self._current().shed += 1
-            self.total_shed += 1
+        with self._lock:
+            if background:
+                self._current().shed_background += 1
+                self.total_shed_background += 1
+            else:
+                self._current().shed += 1
+                self.total_shed += 1
 
     def record_deadline_miss(self) -> None:
         """Account one request whose deadline budget expired."""
-        self._current().deadline_misses += 1
-        self.total_deadline_misses += 1
+        with self._lock:
+            self._current().deadline_misses += 1
+            self.total_deadline_misses += 1
 
     def record_breaker_fastfail(self) -> None:
         """Account one request short-circuited by an open breaker."""
-        self._current().breaker_fastfails += 1
-        self.total_breaker_fastfails += 1
+        with self._lock:
+            self._current().breaker_fastfails += 1
+            self.total_breaker_fastfails += 1
 
     def record_queue_depth(self, depth: int) -> None:
         """Track the peak admission-queue depth seen this step."""
-        s = self._current()
-        s.queue_depth = max(s.queue_depth, depth)
+        with self._lock:
+            s = self._current()
+            s.queue_depth = max(s.queue_depth, depth)
 
     # ------------------------------------------------------- batch hooks
 
     def record_batch(self, n_keys: int) -> None:
         """Account one multi-key batch carrying ``n_keys`` keys."""
-        s = self._current()
-        s.batches += 1
-        s.batched_keys += n_keys
-        self.total_batches += 1
-        self.total_batched_keys += n_keys
+        with self._lock:
+            s = self._current()
+            s.batches += 1
+            s.batched_keys += n_keys
+            self.total_batches += 1
+            self.total_batched_keys += n_keys
 
     def record_stripe_contention(self, contended: int) -> None:
         """Track the peak server lock-stripe contention counter observed
         this step (servers report it cumulatively via ``stats``)."""
-        s = self._current()
-        s.stripe_contention = max(s.stripe_contention, contended)
+        with self._lock:
+            s = self._current()
+            s.stripe_contention = max(s.stripe_contention, contended)
 
     def end_step(self, *, step: int, node_count: int, used_bytes: int,
                  capacity_bytes: int, sim_time_s: float, cost_usd: float) -> StepStats:
         """Close the current step with a cache/cloud state snapshot."""
-        s = self._current()
-        s.step = step
-        s.node_count = node_count
-        s.used_bytes = used_bytes
-        s.capacity_bytes = capacity_bytes
-        s.sim_time_s = sim_time_s
-        s.cost_usd = cost_usd
-        self.steps.append(s)
-        self._open = None
-        return s
+        with self._lock:
+            s = self._current()
+            s.step = step
+            s.node_count = node_count
+            s.used_bytes = used_bytes
+            s.capacity_bytes = capacity_bytes
+            s.sim_time_s = sim_time_s
+            s.cost_usd = cost_usd
+            self.steps.append(s)
+            self._open = None
+            return s
 
     # ------------------------------------------------------------ series
 
     def series(self, name: str) -> np.ndarray:
         """A numpy array of per-step values for attribute ``name``."""
-        return np.array([getattr(s, name) for s in self.steps], dtype=float)
+        with self._lock:
+            return np.array([getattr(s, name) for s in self.steps],
+                            dtype=float)
 
     def cumulative_speedup(self, baseline_s: float) -> np.ndarray:
         """Per-step cumulative speedup: ``Σ baseline / Σ observed``."""
@@ -268,7 +295,8 @@ class MetricsRecorder:
             out = np.where(t > 0, (q * baseline_s) / t, 1.0)
         return out
 
-    def interval_speedup(self, baseline_s: float, interval_queries: int) -> list[tuple[int, float]]:
+    def interval_speedup(self, baseline_s: float,
+                         interval_queries: int) -> list[tuple[int, float]]:
         """Speedup per fixed query-count interval (Fig. 3's x-axis of
         "every I queries elapsed").  Returns ``(queries_elapsed, speedup)``
         pairs."""
@@ -308,9 +336,10 @@ class MetricsRecorder:
         """
         if not self.keep_latencies:
             raise RuntimeError("construct MetricsRecorder(keep_latencies=True)")
-        if not self._latencies:
-            return {q: 0.0 for q in qs}
-        arr = np.asarray(self._latencies)
+        with self._lock:
+            if not self._latencies:
+                return {q: 0.0 for q in qs}
+            arr = np.asarray(self._latencies)
         values = np.percentile(arr, qs)
         return {q: float(v) for q, v in zip(qs, values)}
 
@@ -319,7 +348,9 @@ class MetricsRecorder:
     @property
     def overall_hit_rate(self) -> float:
         """Hits over all queries so far."""
-        return self.total_hits / self.total_queries if self.total_queries else 0.0
+        with self._lock:
+            return (self.total_hits / self.total_queries
+                    if self.total_queries else 0.0)
 
     def mean_node_count(self) -> float:
         """Average node allocation over the experiment's lifespan."""
@@ -346,7 +377,12 @@ class MetricsRecorder:
         Path(path).write_text("\n".join(lines) + "\n")
 
     def summary(self, baseline_s: float) -> dict:
-        """Flat summary dict for reports."""
+        """Flat summary dict for reports (internally consistent: taken
+        under the lock, so ``hits + misses == queries`` always holds)."""
+        with self._lock:
+            return self._summary_locked(baseline_s)
+
+    def _summary_locked(self, baseline_s: float) -> dict:
         cum = self.cumulative_speedup(baseline_s)
         return {
             "queries": self.total_queries,

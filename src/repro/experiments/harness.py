@@ -49,7 +49,9 @@ class SystemBundle:
         return self.coordinator.metrics
 
 
-def _base_parts(params: ExperimentParams) -> tuple[SimClock, SimulatedCloud, NetworkModel, RngStreams]:
+def _base_parts(
+    params: ExperimentParams,
+) -> tuple[SimClock, SimulatedCloud, NetworkModel, RngStreams]:
     streams = RngStreams(seed=params.seed)
     clock = SimClock()
     cloud = SimulatedCloud(

@@ -30,12 +30,14 @@ may cost latency, never correctness.
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.detector import FailureDetector
 from repro.faults.driver import LiveFaultDriver
-from repro.faults.plan import KINDS, WINDOWED_KINDS, FaultEvent, FaultPlan
+from repro.faults.plan import (ELASTIC_KINDS, KINDS, WINDOWED_KINDS,
+                              FaultEvent, FaultPlan)
 from repro.faults.proxy import FaultProxy
 from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.faults.simfaults import FaultyCache, SimFaultInjector, SimFaultStats
 
 __all__ = [
+    "ELASTIC_KINDS",
     "KINDS",
     "WINDOWED_KINDS",
     "CircuitBreaker",

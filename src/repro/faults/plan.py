@@ -18,6 +18,13 @@ Fault kinds
 ``lag``        delay every frame by ``delay_s`` for ``duration``
 ``garble``     corrupt a fraction ``garble_frac`` of frames for ``duration``
 
+Elastic kinds (interpreted by :class:`repro.check.nemesis.ClusterNemesis`
+against a live cluster; the plain drivers ignore them):
+
+``split``      grow the cluster mid-run: GBA-style bucket split + migration
+``merge``      contract: drain a server to its ring successor and drop it
+``overload``   saturate node ``node``'s admission gate for ``duration``
+
 The windowed kinds (``partition``/``flaky``/``lag``/``garble``) carry a
 ``duration``; interpreters are expected to re-arm the clean state when
 the window closes (the sim injector schedules the deactivation event
@@ -31,10 +38,15 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-KINDS = ("crash", "recover", "partition", "heal", "flaky", "lag", "garble")
+KINDS = ("crash", "recover", "partition", "heal", "flaky", "lag", "garble",
+         "split", "merge", "overload")
 
 #: kinds that describe a window rather than an instant
-WINDOWED_KINDS = ("partition", "flaky", "lag", "garble")
+WINDOWED_KINDS = ("partition", "flaky", "lag", "garble", "overload")
+
+#: elastic-operation kinds — topology changes scheduled *mid-history*,
+#: interpreted by the consistency harness's nemesis driver
+ELASTIC_KINDS = ("split", "merge", "overload")
 
 
 @dataclass(frozen=True, order=True)

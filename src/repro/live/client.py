@@ -30,11 +30,11 @@ import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.ring import ConsistentHashRing
 from repro.faults.retry import RetryPolicy, call_with_retry
-from repro.live.migration import migrate_range
 from repro.live.protocol import (MAX_BATCH, DeadlineError, OverloadedError,
                                  ProtocolError, ServerError, enable_nodelay,
                                  FrameReader, error_from_reply, send_frame,
@@ -56,6 +56,9 @@ class MultiPutResult:
     stored: list[int] = field(default_factory=list)
     freed: dict[int, int] = field(default_factory=dict)
     error: ProtocolError | None = None
+    #: keys an ``if_absent`` batch left untouched because the server
+    #: already held a (newer) value for them.
+    skipped: list[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -67,16 +70,21 @@ class MultiPutResult:
 
 
 def _strict_multi_put(client: "LiveCacheClient",
-                      records: list[tuple[int, bytes]]) -> None:
+                      records: list[tuple[int, bytes]],
+                      if_absent: bool = False) -> MultiPutResult:
     """Batched copy for migrations: all records applied, or raise.
 
     ``multi_put`` reports partial state instead of raising; migration's
     prepare→copy→commit needs the raise so a partial copy aborts the
     prepare (source keeps everything) rather than committing loss.
+    With ``if_absent`` a record whose key is already present at the
+    destination counts as applied (the resident value is *newer* than
+    the snapshot — exactly what a migration copy must preserve).
     """
-    result = client.multi_put(records)
+    result = client.multi_put(records, if_absent=if_absent)
     if result.error is not None:
         raise result.error
+    return result
 
 
 class LiveCacheClient:
@@ -216,8 +224,12 @@ class LiveCacheClient:
         return body if reply.get("found") else None
 
     def put(self, key: int, value: bytes, deadline_ms: float | None = None,
-            priority: str | None = None) -> int:
+            priority: str | None = None, if_absent: bool = False) -> int:
         """Store a value; returns bytes freed by an overwrite (0 if new).
+
+        ``if_absent`` makes the write conditional: a key the server
+        already holds is left untouched (the migration-copy discipline —
+        whatever is resident arrived after the snapshot and is newer).
 
         Raises
         ------
@@ -231,6 +243,8 @@ class LiveCacheClient:
         header = {"op": "put", "key": key}
         if priority is not None:
             header["priority"] = priority
+        if if_absent:
+            header["if_absent"] = True
         reply, _ = self._call(header, body=value, deadline_ms=deadline_ms)
         self._ok(reply, "put failed")
         return int(reply.get("freed", 0))
@@ -251,10 +265,13 @@ class LiveCacheClient:
 
     def _send_batch(self, sock: socket.socket, op: str, chunk: list,
                     expires_at: float | None,
-                    priority: str | None) -> None:
+                    priority: str | None,
+                    if_absent: bool = False) -> None:
         header: dict = {"op": op, "n": len(chunk)}
         if priority is not None:
             header["priority"] = priority
+        if if_absent:
+            header["if_absent"] = True
         frames: list[tuple[dict, bytes]] = [
             (self._stamp_deadline(header, expires_at), b"")]
         if op == "multi_put":
@@ -267,7 +284,8 @@ class LiveCacheClient:
 
     def _pipelined_attempt(self, op: str, chunks: list[list], state: dict,
                            expires_at: float | None,
-                           priority: str | None) -> None:
+                           priority: str | None,
+                           if_absent: bool = False) -> None:
         """One pipelined pass over the chunks not yet acknowledged.
 
         Up to ``pipeline_depth`` batches ride the wire before the first
@@ -288,7 +306,7 @@ class LiveCacheClient:
                 while (i < len(chunks) and error is None
                        and len(pending) < self.pipeline_depth):
                     self._send_batch(sock, op, chunks[i], expires_at,
-                                     priority)
+                                     priority, if_absent=if_absent)
                     pending.append(i)
                     i += 1
                 if not pending:
@@ -303,7 +321,11 @@ class LiveCacheClient:
                     if idx == state["done"]:
                         state["done"] = idx + 1
                 elif op == "multi_put" and reply.get("ok"):
-                    state["stored"].extend(k for k, _ in chunks[idx])
+                    skipped = [int(k) for k in reply.get("skipped", [])]
+                    state["skipped"].extend(skipped)
+                    omit = set(skipped)
+                    state["stored"].extend(
+                        k for k, _ in chunks[idx] if k not in omit)
                     for key, freed in reply.get("freed", []):
                         state["freed"][int(key)] = int(freed)
                     if idx == state["done"]:
@@ -313,6 +335,8 @@ class LiveCacheClient:
                     if op == "multi_put":
                         state["stored"].extend(
                             int(k) for k in reply.get("stored", []))
+                        state["skipped"].extend(
+                            int(k) for k in reply.get("skipped", []))
                         for key, freed in reply.get("freed", []):
                             state["freed"][int(key)] = int(freed)
                     error = error_from_reply(reply, f"{op} failed")
@@ -354,7 +378,8 @@ class LiveCacheClient:
 
     def multi_put(self, items: list[tuple[int, bytes]],
                   deadline_ms: float | None = None,
-                  priority: str | None = None) -> MultiPutResult:
+                  priority: str | None = None,
+                  if_absent: bool = False) -> MultiPutResult:
         """Batched store; never raises — the :class:`MultiPutResult`
         carries the partial-apply state a caller needs either way.
 
@@ -368,7 +393,7 @@ class LiveCacheClient:
         if not items:
             return MultiPutResult()
         chunks = self._chunks(list(items))
-        state: dict = {"done": 0, "stored": [], "freed": {}}
+        state: dict = {"done": 0, "stored": [], "freed": {}, "skipped": []}
         expires_at = (time.monotonic() + deadline_ms / 1000.0
                       if deadline_ms is not None else None)
         error: ProtocolError | None = None
@@ -377,7 +402,8 @@ class LiveCacheClient:
                 call_with_retry(
                     lambda: self._pipelined_attempt("multi_put", chunks,
                                                     state, expires_at,
-                                                    priority),
+                                                    priority,
+                                                    if_absent=if_absent),
                     self.retry,
                     retry_on=(ProtocolError, OSError),
                     give_up_on=(OverloadedError, DeadlineError,
@@ -390,7 +416,8 @@ class LiveCacheClient:
             except OSError as exc:
                 error = ProtocolError(str(exc))
                 error.__cause__ = exc
-        return MultiPutResult(state["stored"], state["freed"], error)
+        return MultiPutResult(state["stored"], state["freed"], error,
+                              state["skipped"])
 
     # --------------------------------------------------------- range ops
 
@@ -505,6 +532,61 @@ class LiveCacheClient:
         return reply
 
 
+class _TopologyLock:
+    """Writer-priority reader-writer lock for cluster topology.
+
+    Every routed data op (get/put/delete and the batched fan-outs)
+    holds the lock *shared* for its full duration; topology mutations
+    (add/remove/fail/restore) hold it *exclusive* around the ring edit
+    plus forwarding registration.  That closes the straggler window: no
+    op that resolved an owner under the old topology can still be in
+    flight when the ring changes, so a migration snapshot taken after
+    the exclusive section is complete — nothing can sneak a write into
+    the source interval afterwards.
+
+    Writer priority: once a topology change is waiting, new readers
+    queue behind it, so elastic operations cannot be starved by a busy
+    workload.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def shared(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def exclusive(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
 class LiveClusterClient:
     """Consistent-hash routing over live cache servers.
 
@@ -541,6 +623,24 @@ class LiveClusterClient:
         self._pool: ThreadPoolExecutor | None = None
         #: shard branches of batched fan-outs that degraded to misses
         self.batch_shard_failures = 0
+        #: serialises routed ops (shared) against topology edits
+        #: (exclusive) — see :class:`_TopologyLock`.
+        self._topo = _TopologyLock()
+        #: ring load accounting is shared mutable state; concurrent
+        #: worker threads must not interleave its read-modify-writes.
+        self._acct = threading.Lock()
+        #: deferred accounting deletes, keyed by hkey — see
+        #: :meth:`_debt_delete_locked`.  Guarded by ``_acct``.
+        self._acct_debt: dict[int, list[int]] = {}
+        #: in-flight migration forwarding: ``(lo, hi, src_client)``
+        #: entries, replaced wholesale under ``_fwd_lock``.  A miss at
+        #: the new owner of a key inside a forwarded interval re-reads
+        #: the migration source before declaring the key absent.
+        self._forwards: tuple = ()
+        self._fwd_lock = threading.Lock()
+        #: still-reachable clients of failed-over servers (forwarding
+        #: sources until restore), keyed by address.
+        self._forward_clients: dict[tuple[str, int], LiveCacheClient] = {}
         r = ring_range
         n = len(addresses)
         for i, addr in enumerate(addresses):
@@ -556,8 +656,11 @@ class LiveClusterClient:
         if self._pool is not None:
             self._pool.shutdown(wait=False)
             self._pool = None
-        for client in self.clients.values():
+        for client in list(self.clients.values()):
             client.close()
+        for client in list(self._forward_clients.values()):
+            client.close()
+        self._forward_clients.clear()
 
     def __enter__(self) -> "LiveClusterClient":
         return self
@@ -578,30 +681,146 @@ class LiveClusterClient:
     @property
     def total_retries(self) -> int:
         """Idempotent-request retries summed over live connections."""
-        return sum(c.retries for c in self.clients.values())
+        return sum(c.retries for c in list(self.clients.values()))
+
+    # ------------------------------------------------- accounting helpers
+    #
+    # Ring load accounting is attribution, not ground truth: the server
+    # applies ops in *its* order, while client threads report them to
+    # the ring in *lock-acquisition* order.  Two concurrent puts to one
+    # cold key can therefore account the overwrite's ``freed`` bytes
+    # before the initial insert lands (and a lost-reply retry can blur
+    # ``freed`` entirely) — a strict ``record_delete`` would go
+    # negative and blow up a worker thread mid-op.  Deletes the bucket
+    # cannot yet afford are instead *deferred* as per-key debt and
+    # settled by the next accounting touch of that key, so transient
+    # drift stays transient and nothing ever crashes over a load
+    # estimate.
+
+    def _debt_delete_locked(self, hkey: int, nbytes: int) -> None:
+        """A ``record_delete`` that tolerates out-of-order attribution.
+
+        Caller holds ``_acct``.  Pays immediately when the bucket can
+        afford it (the overwhelmingly common case); otherwise the
+        shortfall waits in ``_acct_debt`` for the racing insert.
+        """
+        owed = self._acct_debt.setdefault(hkey, [0, 0])
+        owed[0] += nbytes
+        owed[1] += 1
+        self._settle_locked(hkey)
+
+    def _settle_locked(self, hkey: int) -> None:
+        """Pay off as much of ``hkey``'s deferred delete as the current
+        bucket balance affords.  Caller holds ``_acct``."""
+        owed = self._acct_debt.get(hkey)
+        if owed is None:
+            return
+        pos = self.ring.bucket_for_hkey(hkey)
+        pay_bytes = min(owed[0], self.ring.bucket_bytes.get(pos, 0))
+        pay_records = min(owed[1], self.ring.bucket_records.get(pos, 0))
+        self.ring.bucket_bytes[pos] -= pay_bytes
+        self.ring.bucket_records[pos] -= pay_records
+        owed[0] -= pay_bytes
+        owed[1] -= pay_records
+        if owed == [0, 0]:
+            del self._acct_debt[hkey]
+
+    def _drop_debts_locked(self, segments) -> None:
+        """Forget deferred deletes for intervals whose accounting was
+        written off or handed away wholesale (failover, contraction) —
+        settling them later would charge the interval's new bucket for
+        records it never held.  Caller holds ``_acct``."""
+        for hkey in list(self._acct_debt):
+            if any(lo <= hkey <= hi for lo, hi in segments):
+                del self._acct_debt[hkey]
+
+    def _account_insert(self, key: int, nbytes: int,
+                        freed: int = 0) -> None:
+        hkey = self.ring.hash_key(key)
+        with self._acct:
+            self.ring.record_insert(hkey, nbytes)
+            if freed:
+                self._debt_delete_locked(hkey, freed)
+            else:
+                self._settle_locked(hkey)
+
+    def _account_delete(self, key: int, nbytes: int) -> None:
+        with self._acct:
+            self._debt_delete_locked(self.ring.hash_key(key), nbytes)
+
+    # ---------------------------------------------- migration forwarding
+
+    def _register_forwards(self, entries: list) -> list:
+        with self._fwd_lock:
+            self._forwards = self._forwards + tuple(entries)
+        return entries
+
+    def _drop_forwards(self, entries: list) -> None:
+        dead = {id(e) for e in entries}
+        with self._fwd_lock:
+            self._forwards = tuple(e for e in self._forwards
+                                   if id(e) not in dead)
+
+    def _forward_source(self, key: int) -> LiveCacheClient | None:
+        """The migration source still holding ``key``'s interval, if a
+        copy is in flight (or a failed-over server is still reachable)."""
+        forwards = self._forwards
+        if not forwards:
+            return None
+        hkey = self.ring.hash_key(key)
+        for lo, hi, src in forwards:
+            if lo <= hkey <= hi:
+                return src
+        return None
 
     def get(self, key: int, deadline_ms: float | None = None,
             priority: str | None = None) -> bytes | None:
-        """Routed fetch."""
-        return self.client_for(key).get(key, deadline_ms=deadline_ms,
-                                        priority=priority)
+        """Routed fetch.
+
+        While a migration copy is in flight for ``key``'s interval, a
+        miss at the new owner falls back to the migration source and
+        then re-checks the new owner: the record lives at the source
+        until the copy lands and at the destination from then on, so
+        the dst → src → dst read sequence can only report a miss for a
+        key that genuinely had no committed value.
+        """
+        with self._topo.shared():
+            value = self.client_for(key).get(key, deadline_ms=deadline_ms,
+                                             priority=priority)
+            if value is None:
+                src = self._forward_source(key)
+                if src is not None:
+                    value = src.get(key, deadline_ms=deadline_ms,
+                                    priority=priority)
+                    if value is None:
+                        value = self.client_for(key).get(
+                            key, deadline_ms=deadline_ms, priority=priority)
+            return value
 
     def put(self, key: int, value: bytes, deadline_ms: float | None = None,
             priority: str | None = None) -> None:
         """Routed store (accounting flows through the shared ring)."""
-        freed = self.client_for(key).put(key, value, deadline_ms=deadline_ms,
-                                         priority=priority)
-        hkey = self.ring.hash_key(key)
-        if freed:
-            self.ring.record_delete(hkey, freed)
-        self.ring.record_insert(hkey, len(value))
+        with self._topo.shared():
+            freed = self.client_for(key).put(key, value,
+                                             deadline_ms=deadline_ms,
+                                             priority=priority)
+            self._account_insert(key, len(value), freed)
 
     def delete(self, key: int) -> bool:
-        """Routed delete."""
-        found, freed = self.client_for(key).delete(key)
-        if found:
-            self.ring.record_delete(self.ring.hash_key(key), freed)
-        return found
+        """Routed delete (also removes any in-flight migration copy so
+        the source cannot resurrect the key)."""
+        with self._topo.shared():
+            found, freed = self.client_for(key).delete(key)
+            if found:
+                self._account_delete(key, freed)
+            src = self._forward_source(key)
+            if src is not None:
+                try:
+                    src_found, _ = src.delete(key)
+                except (ProtocolError, OSError):
+                    src_found = False
+                found = found or src_found
+            return found
 
     # ---------------------------------------------------- batched fan-out
 
@@ -647,7 +866,6 @@ class LiveClusterClient:
             return {}
         expires_at = (time.monotonic() + deadline_ms / 1000.0
                       if deadline_ms is not None else None)
-        groups = self._group_by_owner(keys)
 
         def fetch(addr, group):
             client = self.clients.get(addr)
@@ -661,11 +879,53 @@ class LiveClusterClient:
                 self.batch_shard_failures += 1
                 return {}
 
-        found: dict[int, bytes] = {}
-        for part in self._fan_out(
-                [lambda a=a, g=g: fetch(a, g) for a, g in groups.items()]):
-            found.update(part)
-        return found
+        with self._topo.shared():
+            groups = self._group_by_owner(keys)
+            found: dict[int, bytes] = {}
+            for part in self._fan_out(
+                    [lambda a=a, g=g: fetch(a, g)
+                     for a, g in groups.items()]):
+                found.update(part)
+            if self._forwards:
+                self._fetch_forwarded(keys, found, expires_at, priority)
+            return found
+
+    def _fetch_forwarded(self, keys, found: dict, expires_at, priority
+                         ) -> None:
+        """Resolve batch misses through in-flight migration sources.
+
+        Same dst → src → dst discipline as :meth:`get`, batched: keys
+        still missing after the owner pass are retried at their
+        forwarding source, and keys the source also misses get one
+        re-read at the (current) owner in case the copy landed between
+        the two reads.
+        """
+        by_src: dict[int, tuple[LiveCacheClient, list[int]]] = {}
+        for key in keys:
+            if key in found:
+                continue
+            src = self._forward_source(key)
+            if src is not None:
+                by_src.setdefault(id(src), (src, []))[1].append(key)
+        recheck: list[int] = []
+        for src, group in by_src.values():
+            try:
+                found.update(src.multi_get(
+                    group, deadline_ms=self._remaining_ms(expires_at),
+                    priority=priority))
+            except (ProtocolError, OSError):
+                self.batch_shard_failures += 1
+            recheck.extend(k for k in group if k not in found)
+        for addr, group in self._group_by_owner(recheck).items():
+            client = self.clients.get(addr)
+            if client is None:
+                continue
+            try:
+                found.update(client.multi_get(
+                    group, deadline_ms=self._remaining_ms(expires_at),
+                    priority=priority))
+            except (ProtocolError, OSError):
+                self.batch_shard_failures += 1
 
     def put_many(self, items, deadline_ms: float | None = None,
                  priority: str | None = None,
@@ -686,7 +946,6 @@ class LiveClusterClient:
             return 0
         expires_at = (time.monotonic() + deadline_ms / 1000.0
                       if deadline_ms is not None else None)
-        groups = self._group_by_owner(items)
 
         def store(addr, group):
             client = self.clients.get(addr)
@@ -699,25 +958,43 @@ class LiveClusterClient:
 
         stored_total = 0
         first_error: ProtocolError | None = None
-        for group, result in self._fan_out(
-                [lambda a=a, g=g: store(a, g) for a, g in groups.items()]):
-            values = dict(group)
-            for key in result.stored:
-                freed = result.freed.get(key, 0)
-                hkey = self.ring.hash_key(key)
-                if freed:
-                    self.ring.record_delete(hkey, freed)
-                self.ring.record_insert(hkey, len(values[key]))
-                stored_total += 1
-            if result.error is not None:
-                self.batch_shard_failures += 1
-                if first_error is None:
-                    first_error = result.error
+        with self._topo.shared():
+            groups = self._group_by_owner(items)
+            for group, result in self._fan_out(
+                    [lambda a=a, g=g: store(a, g)
+                     for a, g in groups.items()]):
+                values = dict(group)
+                for key in result.stored:
+                    self._account_insert(key, len(values[key]),
+                                         result.freed.get(key, 0))
+                    stored_total += 1
+                if result.error is not None:
+                    self.batch_shard_failures += 1
+                    if first_error is None:
+                        first_error = result.error
         if first_error is not None and on_error == "raise":
             raise first_error
         return stored_total
 
     # -------------------------------------------------------------- growth
+
+    def _copy_if_absent(self, dest: LiveCacheClient,
+                        records: list[tuple[int, bytes]]
+                        ) -> tuple[list[int], list[int]]:
+        """Strict conditional copy for migrations.
+
+        Returns ``(stored_keys, skipped_keys)``.  If a transport retry
+        happened mid-copy the skipped/stored attribution is blurred (a
+        resent chunk reports records the lost-reply attempt already
+        applied as "skipped"), so skips are demoted to stores — the
+        accounting fixups then over-count at worst, which only drifts
+        load estimates, never drives byte accounting negative.
+        """
+        retries_before = dest.retries
+        result = _strict_multi_put(dest, records, if_absent=True)
+        if result.skipped and dest.retries != retries_before:
+            return result.stored + result.skipped, []
+        return result.stored, result.skipped
 
     def add_server(self, address: tuple[str, int], bucket: int) -> int:
         """Grow the cluster: new bucket + Algorithm 2 over the wire.
@@ -726,25 +1003,70 @@ class LiveClusterClient:
         (prepare → copy → commit) from the server that previously owned
         them to the new one: a crash mid-migration leaves the records on
         the source, never lost.  Returns the number of records migrated.
+
+        Consistency under concurrent traffic: the ring edit plus the
+        migration snapshot happen under the exclusive topology lock, so
+        the moment any client can route a write to the new bucket the
+        source interval is already frozen.  The copy itself then runs
+        *with* traffic flowing: writes go to the new owner, the copy is
+        ``if_absent`` (a snapshot record never clobbers a newer write),
+        and reads that miss at the new owner follow the forwarding entry
+        back to the source until the copy commits.
         """
         if address in self.clients:
             raise ValueError(f"server {address} already in the cluster")
-        old_owner_addr = self.ring.node_for_hkey(bucket)
         new_client = self._connect(address)
-        self.clients[address] = new_client
-        self.ring.add_bucket(bucket, address)
-
-        lo, hi = self.ring.interval_segments(bucket)[-1]
-        src = self.clients[old_owner_addr]
-        records = migrate_range(
-            src, new_client.put, lo, hi,
-            dest_put_many=lambda recs: _strict_multi_put(new_client, recs))
-        moved_bytes = sum(len(v) for _, v in records)
-        if records:
-            self.ring.transfer_load(
-                self.ring.bucket_for_hkey(hi + 1)
-                if hi + 1 < self.ring.ring_range else self.ring.buckets[0],
-                bucket, moved_bytes, len(records))
+        with self._topo.exclusive():
+            old_owner_addr = self.ring.node_for_hkey(bucket)
+            src = self.clients[old_owner_addr]
+            self.clients[address] = new_client
+            self.ring.add_bucket(bucket, address)
+            lo, hi = self.ring.interval_segments(bucket)[-1]
+            # Snapshot while still exclusive: nothing is in flight, so
+            # the snapshot is exactly the interval's committed state.
+            token, records = src.extract_prepare(lo, hi)
+            if records:
+                # Move the interval's accounted load onto the new
+                # bucket *before* traffic resumes — an overwrite of a
+                # copied record must find its bytes already there.
+                # Clamped to what the source bucket actually has on the
+                # books: retry-blurred attribution can leave it
+                # under-accounted, and a load estimate is not worth a
+                # crash.
+                with self._acct:
+                    donor = (self.ring.bucket_for_hkey(hi + 1)
+                             if hi + 1 < self.ring.ring_range
+                             else self.ring.buckets[0])
+                    self.ring.transfer_load(
+                        donor, bucket,
+                        min(sum(len(v) for _, v in records),
+                            self.ring.bucket_bytes.get(donor, 0)),
+                        min(len(records),
+                            self.ring.bucket_records.get(donor, 0)))
+            fwd = self._register_forwards([(lo, hi, src)])
+        try:
+            skipped: list[int] = []
+            if records:
+                _, skipped = self._copy_if_absent(new_client, records)
+            src.extract_commit(token)
+        except BaseException:
+            # Copy failed: the source keeps everything (lease expiry
+            # releases the snapshot); forwarding stays so reads still
+            # reach the stranded records, and the caller may retry the
+            # growth or remove the half-added server.
+            try:
+                src.extract_abort(token)
+            except (ProtocolError, OSError):
+                pass
+            raise
+        # A skipped record means a concurrent write already replaced it
+        # at the new owner: its snapshot bytes were transfer-credited
+        # above but never stored, while the replacement accounted itself
+        # on write — release the snapshot's share.
+        sizes = {k: len(v) for k, v in records}
+        for key in skipped:
+            self._account_delete(key, sizes[key])
+        self._drop_forwards(fwd)
         return len(records)
 
     def remove_server(self, address: tuple[str, int]) -> int:
@@ -772,27 +1094,61 @@ class LiveClusterClient:
 
         moved = 0
         for bucket in list(self.ring.buckets_of(address)):
-            segments = self.ring.interval_segments(bucket)
-            # Phase 1: snapshot every segment under transfer tokens.
-            prepared: list[tuple[str, list[tuple[int, bytes]]]] = []
-            records: list[tuple[int, bytes]] = []
-            for lo, hi in segments:
-                token, recs = victim.extract_prepare(lo, hi)
-                prepared.append((token, recs))
-                records.extend(recs)
-            # Release the bucket's accounting, drop it (its interval folds
-            # into the ring successor), then reinsert through normal
-            # routing so each record is re-accounted at its new home.
-            for key, value in records:
-                self.ring.record_delete(self.ring.hash_key(key), len(value))
-            self.ring.remove_bucket(bucket)
-            # Reinsert batched through normal routing (scatter-gather by
-            # new owner); strict — a drain must not commit against
-            # unacknowledged writes.
-            moved += self.put_many(records, on_error="raise")
-            # Phase 2: every record has a new home — only now delete.
-            for token, _ in prepared:
+            with self._topo.exclusive():
+                segments = self.ring.interval_segments(bucket)
+                # Phase 1: snapshot every segment under transfer tokens
+                # — still exclusive, so nothing can write behind the
+                # snapshot before the bucket is gone.
+                prepared: list[str] = []
+                records: list[tuple[int, bytes]] = []
+                for lo, hi in segments:
+                    token, recs = victim.extract_prepare(lo, hi)
+                    prepared.append(token)
+                    records.extend(recs)
+                # Release the bucket's accounting and drop it: from
+                # this moment writes route to the ring successor, so
+                # nothing new can land on the victim.  Residual drift
+                # (and deferred deletes for the interval) is written
+                # off with the bucket rather than left to charge its
+                # successor.
+                with self._acct:
+                    for key, value in records:
+                        self._debt_delete_locked(self.ring.hash_key(key),
+                                                 len(value))
+                    self._drop_debts_locked(segments)
+                    self.ring.clear_load(bucket)
+                    self.ring.remove_bucket(bucket)
+                dest_addr = self.ring.node_for_hkey(bucket)
+                dest = self.clients[dest_addr]
+                # Reads that miss at the successor chase the records
+                # back to the victim until the copy commits.
+                fwd = self._register_forwards(
+                    [(lo, hi, victim) for lo, hi in segments])
+            # Copy *with* traffic flowing: conditional, so a write that
+            # already landed at the successor is never clobbered by the
+            # (older) snapshot value.
+            retries_before = dest.retries
+            result = dest.multi_put(records, if_absent=True)
+            accountable = list(result.stored)
+            if result.skipped and dest.retries != retries_before:
+                # Transport retry blurred stored/skipped attribution —
+                # assume stored (over-accounting drifts load estimates
+                # upward; under-accounting could go negative later).
+                accountable += result.skipped
+            sizes = {k: len(v) for k, v in records}
+            for key in accountable:
+                self._account_insert(key, sizes[key])
+            if result.error is not None:
+                # Partial copy: the victim still holds everything and
+                # the forwarding entries stay, so reads keep reaching
+                # the stranded records while the caller retries.
+                raise result.error
+            moved += len(result.stored)
+            # Phase 2: every record has a new home — only now delete
+            # at the victim.
+            for token in prepared:
                 victim.extract_commit(token)
+            self._drop_forwards(fwd)
         del self.clients[address]
         victim.close()
         return moved
@@ -818,7 +1174,8 @@ class LiveClusterClient:
                 return owner  # type: ignore[return-value]
         raise ValueError("no live server left to absorb the dead buckets")
 
-    def fail_server(self, address: tuple[str, int]) -> list[int]:
+    def fail_server(self, address: tuple[str, int],
+                    forward: bool = False) -> list[int]:
         """Ring repair after a node *death* (no data to migrate).
 
         The failure-time analogue of Algorithm 2's migration: each of the
@@ -829,25 +1186,44 @@ class LiveClusterClient:
         on the survivors.  Returns the repaired bucket positions, which
         :meth:`restore_server` can later hand back.
 
+        ``forward=True`` covers the *partition* flavour of failure: the
+        process is (believed) alive but unreachable-enough that the
+        cluster routes around it.  Its connection is kept as a
+        forwarding source, so reads that miss on the interim owner still
+        try the isolated server — if the partition heals mid-outage, no
+        acked write is reported lost.  With the default ``forward=False``
+        (a real crash) the connection is closed and misses simply
+        recompute.
+
         Raises
         ------
         ValueError
             If the address is unknown or no other server is left.
         """
-        address = self._canonical(address)
-        owned = list(self.ring.buckets_of(address))
-        reassignments = [(b, self._successor_owner(b, address))
-                         for b in owned]
-        for bucket, successor in reassignments:
-            self.ring.clear_load(bucket)
-            self.ring.reassign_bucket(bucket, successor)
-        client = self.clients.pop(address)
-        try:
-            client.close()
-        except OSError:  # pragma: no cover - already dead
-            pass
-        self._failed[address] = owned
-        return owned
+        with self._topo.exclusive():
+            address = self._canonical(address)
+            owned = list(self.ring.buckets_of(address))
+            reassignments = [(b, self._successor_owner(b, address))
+                             for b in owned]
+            segments = [seg for b in owned
+                        for seg in self.ring.interval_segments(b)]
+            with self._acct:
+                for bucket, successor in reassignments:
+                    self.ring.clear_load(bucket)
+                    self.ring.reassign_bucket(bucket, successor)
+                self._drop_debts_locked(segments)
+            client = self.clients.pop(address)
+            if forward:
+                self._forward_clients[address] = client
+                self._register_forwards(
+                    [(lo, hi, client) for lo, hi in segments])
+            else:
+                try:
+                    client.close()
+                except OSError:  # pragma: no cover - already dead
+                    pass
+            self._failed[address] = owned
+            return owned
 
     def restore_server(self, address: tuple[str, int]) -> int:
         """Re-admit a previously failed server (restarted, cold).
@@ -863,46 +1239,83 @@ class LiveClusterClient:
         if address not in self._failed:
             raise ValueError(f"server {address} was not failed over")
         client = self._connect(address)
+        # No bucket routes to the address yet, so admitting the
+        # connection early is inert until the first reassign below.
         self.clients[address] = client
+        fwd_client = self._forward_clients.pop(address, None)
         moved = 0
         for bucket in self._failed[address]:
-            interim_addr = self.ring.node_map[bucket]
-            interim = self.clients[interim_addr]  # type: ignore[index]
-            segments = self.ring.interval_segments(bucket)
-            # A *partitioned* (rather than crashed) server comes back
-            # still holding the records whose accounting fail_server
-            # wrote off.  Drain them: unaccounted residents would break
-            # ring accounting on their first overwrite.  (A crashed
-            # server restarts cold, so this drain is a no-op.)  The
-            # drain is two-phase as well: stale bytes survive a crash
-            # here, and duplicates resolve on re-insert below.
-            stale: list[tuple[int, bytes]] = []
-            stale_tokens: list[str] = []
-            interim_prepared: list[tuple[str, list[tuple[int, bytes]]]] = []
-            records: list[tuple[int, bytes]] = []
-            for lo, hi in segments:
-                s_token, s_recs = client.extract_prepare(lo, hi)
-                stale_tokens.append(s_token)
-                stale.extend(s_recs)
-                token, recs = interim.extract_prepare(lo, hi)
-                interim_prepared.append((token, recs))
-                records.extend(recs)
-            for token in stale_tokens:
-                client.extract_commit(token)
-            for key, value in records:
-                self.ring.record_delete(self.ring.hash_key(key), len(value))
-            self.ring.reassign_bucket(bucket, address)
-            # Reinsert (batched) through normal routing so each record
-            # is re-accounted at its restored home; survivors'
-            # recomputes win over stale residents (same derived bytes
-            # either way).  Strict: a restore is a migration.
-            fresh = {key for key, _ in records}
-            moved += self.put_many(records, on_error="raise")
-            self.put_many([(k, v) for k, v in stale if k not in fresh],
-                          on_error="raise")
-            # Records are home — the interim owners may now delete.
-            for token, _ in interim_prepared:
+            with self._topo.exclusive():
+                interim_addr = self.ring.node_map[bucket]
+                interim = self.clients[interim_addr]  # type: ignore[index]
+                segments = self.ring.interval_segments(bucket)
+                # A *partitioned* (rather than crashed) server comes
+                # back still holding residents whose accounting
+                # fail_server wrote off.  (A crashed server restarts
+                # cold, so the sweep is empty.)
+                stale: list[tuple[int, bytes]] = []
+                for lo, hi in segments:
+                    stale.extend(client.sweep(lo, hi))
+                interim_tokens: list[str] = []
+                records: list[tuple[int, bytes]] = []
+                for lo, hi in segments:
+                    token, recs = interim.extract_prepare(lo, hi)
+                    interim_tokens.append(token)
+                    records.extend(recs)
+                fresh = {key for key, _ in records}
+                # Residents the outage already rewrote must lose to the
+                # interim copy: delete them while still exclusive, so no
+                # read can observe the stale value once traffic resumes
+                # and the conditional copy below cannot be beaten to the
+                # slot by a value older than the snapshot.
+                for key, _ in stale:
+                    if key in fresh:
+                        client.delete(key)
+                with self._acct:
+                    for key, value in records:
+                        self._debt_delete_locked(self.ring.hash_key(key),
+                                                 len(value))
+                    self.ring.reassign_bucket(bucket, address)
+                    # Retained residents are current again — re-account
+                    # them at their restored home.
+                    for key, value in stale:
+                        if key not in fresh:
+                            self.ring.record_insert(self.ring.hash_key(key),
+                                                    len(value))
+                if fwd_client is not None:
+                    # Partition-mode forwarding for this interval is
+                    # superseded by the interim entries registered next.
+                    self._drop_forwards(
+                        [e for e in self._forwards
+                         if e[2] is fwd_client
+                         and any(not (e[1] < lo or hi < e[0])
+                                 for lo, hi in segments)])
+                fwd = self._register_forwards(
+                    [(lo, hi, interim) for lo, hi in segments])
+            # Copy the outage's recomputes home *with* traffic flowing;
+            # conditional, so a write that already landed at the
+            # restored owner survives the (older) interim snapshot.
+            retries_before = client.retries
+            result = client.multi_put(records, if_absent=True)
+            accountable = list(result.stored)
+            if result.skipped and client.retries != retries_before:
+                accountable += result.skipped
+            sizes = {k: len(v) for k, v in records}
+            for key in accountable:
+                self._account_insert(key, sizes[key])
+            if result.error is not None:
+                # Partial copy: the interim owner keeps everything (the
+                # prepare lease releases untouched) and forwarding
+                # stays, so nothing acked is lost while the caller
+                # retries the restore.
+                raise result.error
+            moved += len(result.stored)
+            # Records are home — the interim owner may now delete.
+            for token in interim_tokens:
                 interim.extract_commit(token)
+            self._drop_forwards(fwd)
+        if fwd_client is not None:
+            fwd_client.close()
         del self._failed[address]
         return moved
 
@@ -915,5 +1328,5 @@ class LiveClusterClient:
         """Aggregated per-server stats keyed by ``host:port``."""
         return {
             f"{addr[0]}:{addr[1]}": client.stats()
-            for addr, client in self.clients.items()
+            for addr, client in list(self.clients.items())
         }

@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import socket
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.config import EvictionConfig
@@ -137,6 +137,15 @@ class LiveCoordinator:
         per-query outcomes and fault counters (retries, failovers,
         degraded queries, recovery times) are recorded so benchmarks can
         plot availability curves.
+    on_event:
+        Optional observer ``(event, detail) -> None`` called at
+        lifecycle transitions: ``shed``, ``deadline_miss``,
+        ``breaker_fastfail``, ``degraded``, ``failover``, ``recovery``
+        and ``grow``.  The consistency harness uses this to interleave
+        coordinator decisions into recorded histories
+        (:meth:`repro.check.history.History.note`); observers must be
+        cheap and exceptions they raise are swallowed — annotation must
+        never alter the query path it annotates.
     """
 
     #: transport-level exceptions that trigger degraded mode
@@ -153,6 +162,7 @@ class LiveCoordinator:
         deadline_ms: float | None = None,
         health_every: int = 0,
         metrics: MetricsRecorder | None = None,
+        on_event: Callable[[str, str], None] | None = None,
     ) -> None:
         self.cluster = cluster
         self.compute = compute
@@ -165,9 +175,19 @@ class LiveCoordinator:
         self.deadline_ms = deadline_ms
         self.health_every = health_every
         self.metrics = metrics
+        self.on_event = on_event
         self.stats = LiveQueryStats()
         self.spawned: list[LiveCacheServer] = []
         self._down_since: dict[tuple[str, int], float] = {}
+
+    def _emit(self, event: str, detail: str) -> None:
+        """Notify the lifecycle observer; never let it hurt the query."""
+        if self.on_event is None:
+            return
+        try:
+            self.on_event(event, detail)
+        except Exception:  # noqa: BLE001 - observer bugs stay observer bugs
+            pass
 
     # ------------------------------------------------------------- queries
 
@@ -199,6 +219,7 @@ class LiveCoordinator:
             # Open breaker: fast-fail to the fallback without burning a
             # connect timeout against a shard we expect to be dead.
             self.stats.breaker_fastfails += 1
+            self._emit("breaker_fastfail", f"{addr[0]}:{addr[1]}")
             if self.metrics is not None:
                 self.metrics.record_breaker_fastfail()
             if background:
@@ -214,6 +235,7 @@ class LiveCoordinator:
             # the detector or breaker — shedding is how the node asks
             # for elastic growth, not a symptom of death.
             self.stats.overloaded += 1
+            self._emit("shed", f"key {key} shed by {addr[0]}:{addr[1]}")
             if self.metrics is not None:
                 self.metrics.record_shed()
             if background:
@@ -221,6 +243,7 @@ class LiveCoordinator:
             return self._recompute(key, t0, expires_at)
         except DeadlineError:
             self.stats.deadline_misses += 1
+            self._emit("deadline_miss", f"key {key} at {addr[0]}:{addr[1]}")
             if self.metrics is not None:
                 self.metrics.record_deadline_miss()
             if background:
@@ -355,6 +378,8 @@ class LiveCoordinator:
         """The slow-but-correct path: shard unreachable, recompute."""
         self.stats.degraded_queries += 1
         self.stats.misses += 1
+        self._emit("degraded", f"key {key} recomputed around "
+                               f"{addr[0]}:{addr[1]}")
         if self.metrics is not None:
             self.metrics.record_degraded()
         if charge:
@@ -401,6 +426,7 @@ class LiveCoordinator:
         moved = self.cluster.add_server(server.address, split)
         self.stats.grown_servers += 1
         self.stats.migrated_records += moved
+        self._emit("grow", f"bucket split at {split}, {moved} migrated")
 
     # ------------------------------------------------------------ failures
 
@@ -416,6 +442,7 @@ class LiveCoordinator:
             return False
         self.stats.failovers += 1
         self._down_since[addr] = time.perf_counter()
+        self._emit("failover", f"{addr[0]}:{addr[1]} condemned, ring repaired")
         if self.metrics is not None:
             self.metrics.record_failover()
         return True
@@ -462,6 +489,8 @@ class LiveCoordinator:
             if not self._probe(addr):
                 continue
             moved = self.cluster.restore_server(addr)
+            self._emit("recovery", f"{addr[0]}:{addr[1]} re-admitted, "
+                                   f"{moved} records home")
             self.detector.mark_recovered(addr)
             self.breaker.record_success(addr)  # close any open breaker
             self.stats.recoveries += 1

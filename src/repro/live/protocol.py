@@ -50,6 +50,18 @@ exceed :data:`MAX_BATCH_BYTES` in total) is a framing violation: the
 server answers ``{"ok": false}`` and closes the session, exactly as it
 does for an oversized single frame.
 
+Conditional writes (migration copies)
+-------------------------------------
+``put`` and ``multi_put`` accept ``"if_absent": true``: a key the
+server already holds is left untouched.  Migration copies use this so a
+snapshot taken before a topology change can never clobber a write that
+raced ahead to the new owner — whatever is resident at the destination
+is by construction newer than the snapshot.  A skipped single ``put``
+answers ``{"ok": true, "freed": 0, "skipped": true}``; a ``multi_put``
+reply lists the untouched keys under ``"skipped": [keys...]`` (omitted
+when empty; also present on partial-error replies alongside
+``"stored"``).
+
 Any request may additionally carry:
 
 ``"deadline_ms"``

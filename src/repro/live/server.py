@@ -259,14 +259,21 @@ class _Store:
         finally:
             stripe.release()
 
-    def put(self, key: int, value: bytes) -> tuple[bool, int]:
-        """Store one record.  Returns ``(stored, freed_or_free)``:
+    def put(self, key: int, value: bytes,
+            if_absent: bool = False) -> tuple[bool, int, bool]:
+        """Store one record.  Returns ``(stored, freed_or_free, skipped)``:
         on success ``freed`` is the bytes an overwrite released; on
-        overflow ``free`` is the node's remaining capacity."""
+        overflow ``free`` is the node's remaining capacity.  With
+        ``if_absent`` an already-present key is left untouched and
+        reported ``skipped`` — the conditional write migrations use so a
+        stale snapshot copy can never clobber a newer concurrent put."""
         stripe = self.stripe_for(key)
         stripe.acquire()
         try:
-            return self.put_locked(stripe, key, value)
+            if if_absent and stripe.tree.search(key) is not None:
+                return True, 0, True
+            ok, n = self.put_locked(stripe, key, value)
+            return ok, n, False
         finally:
             stripe.release()
 
@@ -309,33 +316,41 @@ class _Store:
         return found
 
     def multi_put(self, records: list[tuple[int, bytes]],
-                  expired: "Callable[[], bool] | None" = None
-                  ) -> tuple[list[int], dict[int, int], str | None]:
+                  expired: "Callable[[], bool] | None" = None,
+                  if_absent: bool = False
+                  ) -> tuple[list[int], dict[int, int], list[int], str | None]:
         """Batched store, one stripe-lock acquisition per stripe.
 
-        Returns ``(stored_keys, freed_by_key, error)`` where ``error``
-        is ``None``, ``"overflow"`` or ``"deadline_exceeded"``.  Records
-        already applied when an error aborts the batch stay applied (and
-        are listed in ``stored_keys``) — the reply tells the client
-        which suffix to retry.
+        Returns ``(stored_keys, freed_by_key, skipped_keys, error)``
+        where ``error`` is ``None``, ``"overflow"`` or
+        ``"deadline_exceeded"``.  Records already applied when an error
+        aborts the batch stay applied (and are listed in
+        ``stored_keys``) — the reply tells the client which suffix to
+        retry.  With ``if_absent`` a key already present is left
+        untouched and listed in ``skipped_keys`` instead (migration
+        copies must never clobber a newer concurrent write).
         """
         stored: list[int] = []
         freed_by_key: dict[int, int] = {}
+        skipped: list[int] = []
         for stripe, group in self._group(records).items():
             if expired is not None and expired():
-                return stored, freed_by_key, "deadline_exceeded"
+                return stored, freed_by_key, skipped, "deadline_exceeded"
             stripe.acquire()
             try:
                 for key, value in group:
+                    if if_absent and stripe.tree.search(key) is not None:
+                        skipped.append(key)
+                        continue
                     ok, n = self.put_locked(stripe, key, value)
                     if not ok:
-                        return stored, freed_by_key, "overflow"
+                        return stored, freed_by_key, skipped, "overflow"
                     stored.append(key)
                     if n:
                         freed_by_key[key] = n
             finally:
                 stripe.release()
-        return stored, freed_by_key, None
+        return stored, freed_by_key, skipped, None
 
     def put_locked(self, stripe: _Stripe, key: int,
                    value: bytes) -> tuple[bool, int]:
@@ -394,6 +409,35 @@ class _Store:
 
     def records_resident(self) -> int:
         return sum(len(s.tree) for s in self.stripes)
+
+    def counters_snapshot(self) -> dict:
+        """Stats counters read *under* the stripe locks.
+
+        The lock-free ``hits``/``misses``/``stripe_contention``
+        properties can interleave with concurrent ops and tear across
+        stripes (hits from before an op, misses from after it); the
+        ``stats`` wire op uses this snapshot instead so each stripe's
+        counter triple is internally consistent and byte accounting is
+        read under ``_acct``.
+        """
+        hits = misses = contended = records = 0
+        for stripe in self.stripes:
+            with stripe.lock:
+                hits += stripe.hits
+                misses += stripe.misses
+                contended += stripe.contended
+                records += len(stripe.tree)
+        with self._acct:
+            return {
+                "hits": hits,
+                "misses": misses,
+                "stripe_contention": contended,
+                "records": records,
+                "used_bytes": self.used_bytes,
+                "multi_ops": self.multi_ops,
+                "batched_keys": self.batched_keys,
+                "max_batch": self.max_batch,
+            }
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -544,10 +588,14 @@ class _Handler(socketserver.BaseRequestHandler):
             else:
                 send_frame(sock, {"ok": True, "found": True}, body=value)
         elif op == "put":
-            stored, n = store.put(int(header["key"]), body)
+            stored, n, skipped = store.put(
+                int(header["key"]), body,
+                if_absent=bool(header.get("if_absent")))
             if not stored:
                 send_frame(sock, {"ok": False, "error": "overflow",
                                   "free": n})
+            elif skipped:
+                send_frame(sock, {"ok": True, "freed": 0, "skipped": True})
             else:
                 send_frame(sock, {"ok": True, "freed": n})
         elif op == "delete":
@@ -567,18 +615,22 @@ class _Handler(socketserver.BaseRequestHandler):
                     frames.append(({"key": key, "found": True}, value))
             send_frames(sock, frames)
         elif op == "multi_put":
-            stored, freed_by_key, error = store.multi_put(
-                batch or [], expired=lambda: self._expired(expires_at))
+            stored, freed_by_key, skipped, error = store.multi_put(
+                batch or [], expired=lambda: self._expired(expires_at),
+                if_absent=bool(header.get("if_absent")))
             freed_list = [[k, n] for k, n in freed_by_key.items()]
             if error is None:
-                send_frame(sock, {"ok": True, "acked": len(stored),
-                                  "freed": freed_list})
+                reply = {"ok": True, "acked": len(stored),
+                         "freed": freed_list}
+                if skipped:
+                    reply["skipped"] = skipped
+                send_frame(sock, reply)
             else:
                 # Partial batches report what *was* applied, so the
                 # client retries only the unacknowledged suffix.
                 send_frame(sock, {"ok": False, "error": error,
                                   "acked": len(stored), "stored": stored,
-                                  "freed": freed_list})
+                                  "skipped": skipped, "freed": freed_list})
         elif op in ("sweep", "extract"):
             lo, hi = int(header["lo"]), int(header["hi"])
             # Legacy destructive extraction (kept for wire
@@ -617,20 +669,13 @@ class _Handler(socketserver.BaseRequestHandler):
             gate: AdmissionGate = self.server.gate  # type: ignore[attr-defined]
             reply = {
                 "ok": True,
-                "records": store.records_resident(),
-                "used_bytes": store.used_bytes,
                 "capacity_bytes": store.capacity_bytes,
-                "hits": store.hits,
-                "misses": store.misses,
                 "transfers_pending": store.transfers.pending,
                 "transfers_committed": store.transfers.committed,
                 "transfers_expired": store.transfers.expired,
                 "stripes": len(store.stripes),
-                "stripe_contention": store.stripe_contention,
-                "multi_ops": store.multi_ops,
-                "batched_keys": store.batched_keys,
-                "max_batch": store.max_batch,
             }
+            reply.update(store.counters_snapshot())
             reply.update(gate.snapshot())
             send_frame(sock, reply)
         else:

@@ -13,6 +13,7 @@ import math
 import os
 import signal
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -80,6 +81,33 @@ def pytest_runtest_call(item):
     finally:
         signal.alarm(0)
         signal.signal(signal.SIGALRM, previous)
+
+
+def wait_until(predicate, *, timeout_s: float = 10.0,
+               interval_s: float = 0.01, desc: str = "condition"):
+    """Poll ``predicate`` until it returns truthy; fail loudly otherwise.
+
+    The deflake primitive: tests that await asynchronous state (a lease
+    expiring, a background thread draining, a failover settling) must
+    poll a condition with a bound, never ``time.sleep(<guess>)`` — a
+    fixed sleep is both too slow on fast machines and too short on a
+    loaded single-core CI runner.  Returns the predicate's final value.
+    """
+    deadline = time.monotonic() + timeout_s
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            pytest.fail(f"timed out after {timeout_s:.1f}s waiting for "
+                        f"{desc} (last value: {value!r})")
+        time.sleep(interval_s)
+
+
+@pytest.fixture(name="wait_until")
+def wait_until_fixture():
+    """The :func:`wait_until` poller as a fixture."""
+    return wait_until
 
 
 @pytest.fixture

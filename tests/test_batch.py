@@ -16,8 +16,7 @@ from hypothesis import strategies as st
 
 from repro.faults.retry import RetryPolicy
 from repro.live.client import LiveCacheClient, LiveClusterClient
-from repro.live.protocol import (MAX_BATCH, DeadlineError, OverloadedError,
-                                 ProtocolError)
+from repro.live.protocol import MAX_BATCH, DeadlineError, OverloadedError
 from repro.live.server import LiveCacheServer
 
 

@@ -1,0 +1,157 @@
+"""Recorder semantics: outcome classification drives checker soundness.
+
+The recorder's one hard job is never to claim more certainty than the
+wire gave it: an op is ``fail`` only when the cluster *definitely*
+refused it (typed error, no retry in between), and anything blurrier
+is ``unknown``.  These tests drive a stub cluster through each
+boundary case — if classification drifts, the checker starts rejecting
+legal histories (or worse, accepting broken ones).
+"""
+
+import pytest
+
+from repro.check import History, RecordingClient
+from repro.live.protocol import (DeadlineError, OverloadedError,
+                                 ProtocolError, ServerError)
+
+
+class StubCluster:
+    """A scriptable in-memory stand-in for LiveClusterClient."""
+
+    def __init__(self) -> None:
+        self.data: dict[int, bytes] = {}
+        self.total_retries = 0
+        self.batch_shard_failures = 0
+        self.fail_with: Exception | None = None
+        self.retry_bump = 0        #: retries added *during* the next op
+
+    def _maybe_fail(self) -> None:
+        self.total_retries += self.retry_bump
+        if self.fail_with is not None:
+            exc, self.fail_with = self.fail_with, None
+            raise exc
+
+    def get(self, key, **kwargs):
+        self._maybe_fail()
+        return self.data.get(key)
+
+    def put(self, key, value, **kwargs):
+        self._maybe_fail()
+        self.data[key] = value
+
+    def get_many(self, keys, **kwargs):
+        self._maybe_fail()
+        return {k: self.data[k] for k in keys if k in self.data}
+
+    def put_many(self, items, **kwargs):
+        self._maybe_fail()
+        self.data.update(dict(items))
+        return len(items)
+
+
+@pytest.fixture()
+def rig():
+    cluster = StubCluster()
+    history = History()
+    return cluster, history, RecordingClient(cluster, history, process=0)
+
+
+def outcomes(history):
+    return [(op.kind, op.outcome) for op in history.ops]
+
+
+def test_successful_ops_record_ok(rig):
+    cluster, history, client = rig
+    assert client.put(1, b"a") is True
+    assert client.get(1) == b"a"
+    assert outcomes(history) == [("w", "ok"), ("r", "ok")]
+    write, read = history.ops
+    assert write.inv < write.res < read.inv < read.res
+
+
+@pytest.mark.parametrize("exc", [OverloadedError("shed"),
+                                 DeadlineError("late"),
+                                 ServerError("boom")])
+def test_clean_typed_refusal_is_a_definite_fail(rig, exc):
+    cluster, history, client = rig
+    cluster.fail_with = exc
+    assert client.put(1, b"a") is False
+    assert outcomes(history) == [("w", "fail")]
+
+
+def test_typed_refusal_after_retry_is_unknown(rig):
+    # A retry in the middle means a lost-reply attempt may have
+    # applied before the refusal — the recorder must not claim "fail".
+    cluster, history, client = rig
+    cluster.fail_with = OverloadedError("shed")
+    cluster.retry_bump = 1
+    client.put(1, b"a")
+    assert outcomes(history) == [("w", "unknown")]
+
+
+@pytest.mark.parametrize("exc", [ProtocolError("torn frame"),
+                                 OSError("reset")])
+def test_transport_error_on_write_is_unknown(rig, exc):
+    cluster, history, client = rig
+    cluster.fail_with = exc
+    client.put(1, b"a")
+    assert outcomes(history) == [("w", "unknown")]
+
+
+def test_errored_read_is_fail_and_observes_nothing(rig):
+    cluster, history, client = rig
+    cluster.fail_with = OSError("reset")
+    assert client.get(1) is None
+    assert outcomes(history) == [("r", "fail")]
+
+
+def test_get_many_decomposes_per_key_sharing_inv(rig):
+    cluster, history, client = rig
+    cluster.data = {1: b"a", 2: b"b"}
+    found = client.get_many([1, 2, 3])
+    assert found == {1: b"a", 2: b"b"}
+    assert outcomes(history) == [("r", "ok")] * 3
+    assert len({op.inv for op in history.ops}) == 1   # one window
+    assert history.ops[2].value is None               # 3 was a real miss
+
+
+def test_get_many_misses_during_degraded_call_are_fails(rig):
+    # When a shard branch degraded mid-call, a missing key might live
+    # on the failed shard: its miss is not a trustworthy observation.
+    cluster, history, client = rig
+    cluster.data = {1: b"a"}
+
+    real_get_many = cluster.get_many
+
+    def degraded_get_many(keys, **kwargs):
+        cluster.batch_shard_failures += 1
+        return real_get_many(keys, **kwargs)
+
+    cluster.get_many = degraded_get_many
+    client.get_many([1, 2])
+    assert outcomes(history) == [("r", "ok"), ("r", "fail")]
+
+
+def test_put_many_full_success_is_ok(rig):
+    cluster, history, client = rig
+    assert client.put_many([(1, b"a"), (2, b"b")]) == 2
+    assert outcomes(history) == [("w", "ok")] * 2
+    assert len({op.inv for op in history.ops}) == 1
+
+
+def test_put_many_partial_or_errored_is_all_unknown(rig):
+    cluster, history, client = rig
+    cluster.put_many = lambda items, **kw: len(items) - 1   # partial
+    client.put_many([(1, b"a"), (2, b"b")])
+    cluster.put_many = StubCluster.put_many.__get__(cluster)
+    cluster.fail_with = OSError("reset")
+    client.put_many([(3, b"c")])
+    assert outcomes(history) == [("w", "unknown")] * 3
+
+
+def test_op_count_tracks_completed_ops(rig):
+    cluster, history, client = rig
+    assert history.op_count == 0
+    client.put(1, b"a")
+    client.get_many([1, 2])
+    assert history.op_count == 3      # batches count per key

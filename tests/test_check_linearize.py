@@ -1,0 +1,287 @@
+"""Checker validation against hand-written histories.
+
+The linearizability checker is itself test infrastructure, so it gets
+the adversarial treatment: known-good histories (including the subtle
+ones — indeterminate writes later observed, concurrent overlaps) must
+be accepted, and each planted violation class must be rejected with a
+correctly-labelled, minimized counterexample.  If these fail, every
+verdict the chaos suite produces is noise.
+"""
+
+import pytest
+
+from repro.check import (CheckResult, History, Op, check_history,
+                         linearizable_key)
+from repro.check.linearize import minimize
+
+
+def op(client, index, kind, key, value, outcome, inv, res):
+    val = value.encode() if isinstance(value, str) else value
+    return Op(client=client, index=index, kind=kind, key=key, value=val,
+              outcome=outcome, inv=inv, res=res)
+
+
+def verdict(ops, lossy=False) -> CheckResult:
+    per_key = {}
+    for o in ops:
+        per_key.setdefault(o.key, []).append(o)
+    return check_history(per_key, lossy=lossy)
+
+
+# ------------------------------------------------------------- accepts
+
+
+def test_sequential_history_is_linearizable():
+    ops = [
+        op(0, 0, "r", 1, None, "ok", 1, 2),      # miss before first write
+        op(0, 1, "w", 1, "a", "ok", 3, 4),
+        op(0, 2, "r", 1, "a", "ok", 5, 6),
+        op(1, 0, "w", 1, "b", "ok", 7, 8),
+        op(1, 1, "r", 1, "b", "ok", 9, 10),
+    ]
+    assert verdict(ops).ok
+
+
+def test_concurrent_writes_either_order_is_fine():
+    # Two overlapping writes; a later read may see either winner.
+    for seen in ("a", "b"):
+        ops = [
+            op(0, 0, "w", 1, "a", "ok", 1, 10),
+            op(1, 0, "w", 1, "b", "ok", 2, 11),
+            op(0, 1, "r", 1, seen, "ok", 12, 13),
+        ]
+        assert verdict(ops).ok, f"reading {seen!r} must be legal"
+
+
+def test_read_overlapping_write_may_see_old_or_new():
+    for seen in (None, "a"):
+        ops = [
+            op(0, 0, "w", 1, "a", "ok", 1, 10),
+            op(1, 0, "r", 1, seen, "ok", 2, 5),   # overlaps the write
+        ]
+        assert verdict(ops).ok
+
+
+def test_indeterminate_put_later_observed_is_accepted():
+    # The classic: a put times out ("unknown"), but a later read sees
+    # its value — the checker must linearize the unknown write, not
+    # call the read a phantom.
+    ops = [
+        op(0, 0, "w", 1, "a", "ok", 1, 2),
+        op(0, 1, "w", 1, "b", "unknown", 3, 4),   # timed out
+        op(1, 0, "r", 1, "b", "ok", 10, 11),      # ...but it applied
+    ]
+    assert verdict(ops).ok
+
+
+def test_indeterminate_put_never_applied_is_accepted():
+    # The same unknown write with no observer: it simply never
+    # linearizes; later reads keep seeing the previous value.
+    ops = [
+        op(0, 0, "w", 1, "a", "ok", 1, 2),
+        op(0, 1, "w", 1, "b", "unknown", 3, 4),
+        op(1, 0, "r", 1, "a", "ok", 10, 11),
+    ]
+    assert verdict(ops).ok
+
+
+def test_unknown_write_observed_then_old_value_is_rejected():
+    # Once a read pins the unknown write, it *happened*: a later read
+    # cannot roll back to the older value.
+    ops = [
+        op(0, 0, "w", 1, "a", "ok", 1, 2),
+        op(0, 1, "w", 1, "b", "unknown", 3, 4),
+        op(1, 0, "r", 1, "b", "ok", 10, 11),
+        op(1, 1, "r", 1, "a", "ok", 12, 13),
+    ]
+    result = verdict(ops)
+    assert not result.ok
+
+
+def test_failed_ops_are_ignored():
+    # A shed write never applied; a failed read observed nothing.
+    ops = [
+        op(0, 0, "w", 1, "a", "ok", 1, 2),
+        op(0, 1, "w", 1, "b", "fail", 3, 4),      # shed: never applied
+        op(1, 0, "r", 1, None, "fail", 5, 6),     # errored read
+        op(1, 1, "r", 1, "a", "ok", 7, 8),
+    ]
+    assert verdict(ops).ok
+
+
+def test_multi_key_histories_check_independently():
+    # P-compositionality: a violation on one key never bleeds into
+    # another key's verdict.
+    ops = [
+        op(0, 0, "w", 1, "a", "ok", 1, 2),
+        op(0, 1, "r", 1, "a", "ok", 3, 4),
+        op(1, 0, "w", 2, "x", "ok", 1, 2),
+        op(1, 1, "r", 2, None, "ok", 5, 6),       # lost ack on key 2
+    ]
+    result = verdict(ops)
+    assert not result.ok
+    assert [v.key for v in result.violations] == [2]
+
+
+# ------------------------------------------------------------- rejects
+
+
+def test_lost_ack_is_rejected_and_named():
+    ops = [
+        op(0, 0, "w", 1, "a", "ok", 1, 2),
+        op(1, 0, "r", 1, None, "ok", 5, 6),
+    ]
+    result = verdict(ops)
+    assert not result.ok
+    [violation] = result.violations
+    assert violation.reason == "lost_ack"
+    assert len(violation.ops) == 2                # already minimal
+
+
+def test_stale_read_is_rejected_and_named():
+    ops = [
+        op(0, 0, "w", 1, "a", "ok", 1, 2),
+        op(0, 1, "w", 1, "b", "ok", 3, 4),
+        op(1, 0, "r", 1, "a", "ok", 5, 6),        # superseded value
+    ]
+    result = verdict(ops)
+    assert not result.ok
+    [violation] = result.violations
+    assert violation.reason == "stale_read"
+    assert len(violation.ops) == 3
+
+
+def test_phantom_read_is_rejected_and_named():
+    # A value only a *failed* (definitely-not-applied) write produced.
+    ops = [
+        op(0, 0, "w", 1, "a", "fail", 1, 2),
+        op(1, 0, "r", 1, "a", "ok", 3, 4),
+    ]
+    result = verdict(ops)
+    assert not result.ok
+    assert result.violations[0].reason == "phantom_read"
+
+
+def test_out_of_order_reads_are_rejected():
+    # Concurrent writes, then two sequential reads observing *both*
+    # orders — no single linearization explains that.  The fast
+    # detectors cannot catch this one (neither read is stale on its
+    # own); it must fall through to the Wing–Gong search.
+    ops = [
+        op(0, 0, "w", 1, "a", "ok", 1, 10),
+        op(1, 0, "w", 1, "b", "ok", 2, 11),
+        op(2, 0, "r", 1, "b", "ok", 12, 13),
+        op(2, 1, "r", 1, "a", "ok", 14, 15),
+    ]
+    result = verdict(ops)
+    assert not result.ok
+    [violation] = result.violations
+    assert violation.reason == "nonlinearizable"
+
+
+def test_counterexample_is_minimized():
+    # Plant a lost ack inside a long valid prefix/suffix on the same
+    # key; the witness must shed the padding.
+    ops = [op(0, i, "w", 1, f"v{i}", "ok", 2 * i + 1, 2 * i + 2)
+           for i in range(20)]
+    ops.append(op(1, 0, "r", 1, None, "ok", 100, 101))
+    ops += [op(0, 20 + i, "w", 1, f"w{i}", "ok", 110 + 2 * i, 111 + 2 * i)
+            for i in range(10)]
+    result = verdict(ops)
+    assert not result.ok
+    [violation] = result.violations
+    assert len(violation.ops) <= 3
+
+
+def test_minimizer_is_one_minimal():
+    ops = [
+        op(0, 0, "w", 1, "a", "ok", 1, 10),
+        op(1, 0, "w", 1, "b", "ok", 2, 11),
+        op(2, 0, "r", 1, "b", "ok", 12, 13),
+        op(2, 1, "r", 1, "a", "ok", 14, 15),
+    ]
+    failing = lambda sub: linearizable_key(sub, lossy=False) is False  # noqa: E731
+    witness = minimize(ops, failing)
+    assert failing(witness)
+    for i in range(len(witness)):
+        assert not failing(witness[:i] + witness[i + 1:]), \
+            "removing any one op must make the witness pass"
+
+
+# ---------------------------------------------------------- lossy mode
+
+
+def test_lossy_mode_permits_misses_after_crash():
+    # Under a crash nemesis the records die with the node: a miss
+    # after an acked write is legal...
+    ops = [
+        op(0, 0, "w", 1, "a", "ok", 1, 2),
+        op(1, 0, "r", 1, None, "ok", 5, 6),
+    ]
+    assert verdict(ops, lossy=True).ok
+
+
+def test_lossy_mode_still_rejects_stale_reads():
+    # ...but a *resurrected stale value* is still a violation: loss is
+    # excused, time travel is not.
+    ops = [
+        op(0, 0, "w", 1, "a", "ok", 1, 2),
+        op(0, 1, "w", 1, "b", "ok", 3, 4),
+        op(1, 0, "r", 1, "a", "ok", 5, 6),
+    ]
+    result = verdict(ops, lossy=True)
+    assert not result.ok
+    assert result.violations[0].reason == "stale_read"
+
+
+def test_lossy_mode_still_rejects_phantoms():
+    ops = [op(0, 0, "r", 1, "ghost", "ok", 1, 2)]
+    result = verdict(ops, lossy=True)
+    assert not result.ok
+    assert result.violations[0].reason == "phantom_read"
+
+
+# ----------------------------------------------------------- mechanics
+
+
+def test_search_budget_yields_undecided_not_violation():
+    # A pile of mutually concurrent ops explodes the search; with a
+    # tiny budget the key lands in undecided, never in violations.
+    n = 12
+    ops = [op(i, 0, "w", 1, f"v{i}", "ok", 1, 100) for i in range(n)]
+    ops.append(op(n, 0, "r", 1, "v0", "ok", 1, 100))
+    per_key = {1: ops}
+    result = check_history(per_key, state_budget=10)
+    assert result.ok
+    assert result.undecided_keys == [1]
+
+
+def test_empty_and_read_only_histories_pass():
+    assert check_history({}).ok
+    assert verdict([op(0, 0, "r", 1, None, "ok", 1, 2)]).ok
+
+
+def test_history_render_interleaves_notes():
+    history = History()
+    inv = history.tick()
+    history.note("split begins")
+    history.record(Op(client=0, index=0, kind="w", key=1, value=b"a",
+                      outcome="ok", inv=inv, res=history.tick()))
+    text = history.render()
+    assert "split begins" in text
+    assert "w(1, 'a')" in text
+
+
+def test_violation_describe_mentions_reason_and_ops():
+    result = verdict([
+        op(0, 0, "w", 1, "a", "ok", 1, 2),
+        op(1, 0, "r", 1, None, "ok", 5, 6),
+    ])
+    text = result.describe()
+    assert "lost_ack" in text
+    assert "w(1, 'a')" in text
+
+
+@pytest.mark.parametrize("outcome", ["ok", "unknown"])
+def test_single_write_histories_pass(outcome):
+    assert verdict([op(0, 0, "w", 1, "a", outcome, 1, 2)]).ok

@@ -1,7 +1,6 @@
 """Subprocess test for the `repro serve` CLI command."""
 
 import re
-import socket
 import subprocess
 import sys
 import time

@@ -8,7 +8,7 @@ from repro.core.config import (
     EvictionConfig,
     ExperimentTimings,
 )
-from repro.experiments.configs import ExperimentParams, fig3_params
+from repro.experiments.configs import fig3_params
 
 
 class TestCacheConfig:

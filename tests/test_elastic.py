@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cloud.provider import SimulatedCloud
-from repro.core.config import CacheConfig, EvictionConfig
+from repro.core.config import CacheConfig
 from repro.core.elastic import ElasticCooperativeCache
 from repro.sim.clock import SimClock
 from tests.conftest import make_cache

@@ -14,7 +14,7 @@ from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5_panel
 from repro.experiments.fig6 import run_fig6_panel
 from repro.experiments.fig7 import run_fig7
-from repro.experiments.harness import build_elastic, build_static, make_trace, run_trace
+from repro.experiments.harness import build_elastic, make_trace, run_trace
 
 
 class TestConfigs:

@@ -10,7 +10,6 @@ repopulated without manual intervention.
 """
 
 import os
-import time
 
 import pytest
 
@@ -170,7 +169,7 @@ def test_flaky_frames_are_absorbed_by_retry():
         server.stop()
 
 
-def test_crash_between_prepare_and_commit_loses_nothing():
+def test_crash_between_prepare_and_commit_loses_nothing(wait_until):
     """The two-phase migration invariant, live: crash the migrator after
     prepare (and a partial copy), kill the destination mid-copy, then
     recover — at every point the record set matches the fault-free
@@ -202,7 +201,10 @@ def test_crash_between_prepare_and_commit_loses_nothing():
         # (migrator crashes here: token orphaned, commit never sent)
         for k, v in oracle.items():
             assert src.get(k) == v, "prepare must retain records"
-        time.sleep(0.3)               # the orphaned lease expires...
+        # ...until the orphaned lease expires (the ledger purges lazily,
+        # so pending==0 *is* the expiry signal)...
+        wait_until(lambda: src.stats()["transfers_pending"] == 0,
+                   timeout_s=5.0, desc="orphaned lease expiry")
         assert src.extract_commit(token) == 0   # ...so commit is a no-op
         for k, v in oracle.items():
             assert src.get(k) == v

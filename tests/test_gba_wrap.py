@@ -92,7 +92,6 @@ class TestWrapBucket:
         """The 'lower half' of a wrapping bucket starts at the tail
         segment (circular order), not at hash position 0."""
         ring, gba, nodes = wrap_setup
-        n1 = nodes[0]
         keys = [90, 95, 99, 0, 5, 10, 20, 30]
         for k in keys:
             put(gba, ring, k)

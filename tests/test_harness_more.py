@@ -1,7 +1,6 @@
 """Additional harness behaviours: service overrides, pickers, bundles."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.configs import fig3_params
 from repro.experiments.harness import (

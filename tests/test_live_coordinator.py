@@ -125,3 +125,39 @@ class TestEndToEndShoreline:
         finally:
             for s in servers:
                 s.stop()
+
+
+class TestEventObserver:
+    def test_grow_events_are_emitted(self, small_cluster):
+        cluster, _ = small_cluster
+        events = []
+        coord = LiveCoordinator(
+            cluster, compute,
+            spawn_server=lambda: LiveCacheServer(capacity_bytes=600).start(),
+            on_event=lambda kind, detail: events.append((kind, detail)))
+        try:
+            for k in range(0, 4000, 40):
+                coord.query(k)
+            grows = [d for kind, d in events if kind == "grow"]
+            assert len(grows) == coord.stats.grown_servers
+            assert all("bucket split at" in d for d in grows)
+        finally:
+            coord.stop_spawned()
+
+    def test_broken_observer_never_breaks_queries(self, small_cluster):
+        cluster, _ = small_cluster
+
+        def explode(kind, detail):
+            raise ValueError("observer bug")
+
+        coord = LiveCoordinator(
+            cluster, compute,
+            spawn_server=lambda: LiveCacheServer(capacity_bytes=600).start(),
+            on_event=explode)
+        try:
+            for k in range(0, 4000, 40):
+                coord.query(k)
+            assert coord.stats.grown_servers > 0  # emitted, swallowed
+            assert coord.query(40) == compute(40)
+        finally:
+            coord.stop_spawned()

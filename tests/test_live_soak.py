@@ -10,7 +10,7 @@ from repro.live.server import LiveCacheServer
 pytestmark = pytest.mark.slow  # long-running: tier-1 skips, `make chaos` runs
 
 
-def test_concurrent_clients_against_cluster():
+def test_concurrent_clients_against_cluster(wait_until):
     """Several LiveClusterClient instances (one per thread, sharing the
     same static membership) hammer a 3-server cluster concurrently; no
     operation may fail and the final record population must be exact."""
@@ -41,8 +41,10 @@ def test_concurrent_clients_against_cluster():
     try:
         for t in threads:
             t.start()
-        for t in threads:
-            t.join(timeout=60)
+        # A silent join timeout would let the final count race a live
+        # worker; insist every thread actually finished.
+        wait_until(lambda: not any(t.is_alive() for t in threads),
+                   timeout_s=90.0, desc="all soak workers to finish")
         assert errors == [], errors
 
         expected = n_threads * (per_thread - len(range(0, per_thread, 3)))
@@ -55,7 +57,7 @@ def test_concurrent_clients_against_cluster():
             s.stop()
 
 
-def test_interleaved_sweeps_and_writes():
+def test_interleaved_sweeps_and_writes(wait_until):
     """Range sweeps concurrent with writes must never crash the server
     or corrupt the store (the store lock serializes tree access)."""
     server = LiveCacheServer(capacity_bytes=1 << 22).start()
@@ -87,9 +89,11 @@ def test_interleaved_sweeps_and_writes():
         s = threading.Thread(target=sweeper)
         w.start()
         s.start()
-        s.join(timeout=60)
+        wait_until(lambda: not s.is_alive(), timeout_s=90.0,
+                   desc="sweeper to finish its 60 sweeps")
         stop.set()
-        w.join(timeout=10)
+        wait_until(lambda: not w.is_alive(), timeout_s=30.0,
+                   desc="writer to observe stop")
         assert errors == [], errors
         with LiveCacheClient(server.address) as c:
             stats = c.stats()

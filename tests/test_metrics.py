@@ -1,6 +1,5 @@
 """Unit tests for the metrics recorder."""
 
-import numpy as np
 import pytest
 
 from repro.core.metrics import MetricsRecorder
@@ -143,3 +142,76 @@ class TestLatencyPercentiles:
         coord.query(1)  # hit < 1 s
         p = coord.metrics.latency_percentiles((0, 100))
         assert p[0] < 1.0 and p[100] >= 23.0
+
+
+class TestThreadSafety:
+    """Hammer the recorder from many threads; every count must land.
+
+    Before the internal lock, this lost increments (racing ``+=``) and
+    orphaned whole steps (two threads both creating ``_open``), and
+    ``summary()`` could catch ``hits + misses != queries`` mid-update.
+    """
+
+    def test_concurrent_hooks_lose_nothing(self):
+        import threading
+
+        m = MetricsRecorder()
+        per_thread, n_threads = 400, 8
+        start = threading.Barrier(n_threads)
+
+        def hammer(tid):
+            start.wait()
+            for i in range(per_thread):
+                m.record_query(hit=i % 2 == 0, latency_s=0.001)
+                if i % 7 == 0:
+                    m.record_retry()
+                if i % 11 == 0:
+                    m.record_shed(background=i % 2 == 0)
+                if i % 13 == 0:
+                    m.record_batch(3)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        m.end_step(step=0, node_count=1, used_bytes=0, capacity_bytes=1,
+                   sim_time_s=0.0, cost_usd=0.0)
+
+        total = per_thread * n_threads
+        assert m.total_queries == total
+        assert m.total_hits == total // 2
+        assert m.total_misses == total // 2
+        assert m.total_retries == n_threads * len(range(0, per_thread, 7))
+        assert m.total_batches == n_threads * len(range(0, per_thread, 13))
+        assert m.total_batched_keys == 3 * m.total_batches
+        # Exactly one step absorbed everything; none were orphaned.
+        assert len(m.steps) == 1
+        assert m.steps[0].queries == total
+        assert m.steps[0].hits + m.steps[0].misses == total
+
+    def test_snapshot_is_internally_consistent_mid_hammer(self):
+        import threading
+
+        m = MetricsRecorder()
+        stop = threading.Event()
+
+        def hammer():
+            i = 0
+            while not stop.is_set():
+                m.record_query(hit=i % 3 == 0, latency_s=0.0)
+                i += 1
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for w in workers:
+            w.start()
+        try:
+            for _ in range(200):
+                s = m.summary(baseline_s=1.0)
+                # A torn read shows up as hits+misses drifting off queries.
+                assert s["hits"] + s["misses"] == s["queries"]
+        finally:
+            stop.set()
+            for w in workers:
+                w.join()

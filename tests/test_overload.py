@@ -573,7 +573,7 @@ class TestCoordinatorOverload:
             cluster.close()
             srv.stop()
 
-    def test_background_dropped_under_overload(self):
+    def test_background_dropped_under_overload(self, wait_until):
         srv = LiveCacheServer(capacity_bytes=1 << 20, max_workers=1,
                               max_queue=0, op_delay_s=0.5).start()
         blocker = LiveCacheClient(srv.address, timeout=5.0, retry=NO_RETRY)
@@ -584,7 +584,10 @@ class TestCoordinatorOverload:
             t = threading.Thread(target=lambda: blocker.put(1, b"x"),
                                  daemon=True)
             t.start()
-            time.sleep(0.1)
+            # Only once the blocker actually holds the single worker
+            # slot is the gate guaranteed to shed the background op.
+            wait_until(lambda: srv.gate.active >= 1, timeout_s=5.0,
+                       desc="blocker to occupy the worker slot")
             assert coord.prefetch(7) is False    # dropped, not recomputed
             assert coord.stats.shed_background >= 1
             t.join(timeout=3.0)

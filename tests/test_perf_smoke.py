@@ -9,7 +9,6 @@ accidental O(n²), a lost vectorization) trips them.
 import time
 
 import numpy as np
-import pytest
 
 from repro.btree.bplustree import BPlusTree
 from repro.experiments.configs import fig3_params

@@ -59,8 +59,6 @@ class TestSpikeTrain:
 
     def test_drives_repeated_elasticity_cycles(self, cloud, network):
         """Diurnal traffic must produce more than one grow/shrink cycle."""
-        import dataclasses
-
         from repro.core.config import ContractionConfig, EvictionConfig
         from repro.experiments.configs import ExperimentParams
         from repro.experiments.harness import build_elastic, make_trace, run_trace

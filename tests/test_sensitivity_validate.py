@@ -1,6 +1,5 @@
 """Unit tests for the sensitivity sweeps and the validation scorecard."""
 
-import pytest
 
 from repro.analysis.sensitivity import (
     SweepPoint,
@@ -53,8 +52,6 @@ class TestScorecard:
         assert "PASS" in out and "claim-a" in out
 
     def test_crashing_check_counts_as_failure(self):
-        from repro.experiments import validate as v
-
         def boom(results):
             raise KeyError("missing")
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.services.base import Service, ServiceRegistry, SyntheticService
+from repro.services.base import ServiceRegistry, SyntheticService
 from repro.services.composite import CompositeService
 from repro.services.ctm import CoastalTerrainModel
 from repro.services.shoreline import ShorelineExtractionService, marching_squares

@@ -1,0 +1,115 @@
+"""Property tests: incremental λ(k) against a brute-force oracle.
+
+The evictor keeps per-key appearance lists so scoring a key never walks
+all ``m`` slices.  These tests drive random query schedules and check,
+after every slice boundary, that (1) the incremental ``score`` equals
+the textbook sum ``λ(k) = Σ α^(i-1)·|{k ∈ t_i}|`` over the closed
+window, and (2) each expiry evicts exactly the keys of the expired
+slice whose post-expiry score fell below ``T_λ = α^(m-1)``.
+"""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EvictionConfig
+from repro.core.sliding_window import SlidingWindowEvictor
+
+#: one run: per-slice key lists, drawn from a tiny keyspace so keys
+#: recur across slices and scores actually accumulate
+schedules = st.lists(
+    st.lists(st.integers(min_value=0, max_value=7), max_size=12),
+    min_size=1, max_size=14)
+
+
+def brute_lambda(key, window, alpha):
+    """λ(k) straight from the definition, over closed slices in window."""
+    if not window:
+        return 0.0
+    newest_id = window[-1][0]
+    return sum((alpha ** (newest_id - sid)) * counts.get(key, 0)
+               for sid, counts in window)
+
+
+class Oracle:
+    """A deliberately naive re-implementation: full slices, full sums."""
+
+    def __init__(self, m, alpha, threshold):
+        self.m, self.alpha, self.threshold = m, alpha, threshold
+        self.window = deque()  # (slice_id, {key: count}), oldest first
+        self.current = {}
+        self.next_id = 0
+
+    def record(self, key):
+        self.current[key] = self.current.get(key, 0) + 1
+
+    def end_slice(self):
+        """Returns the set of keys the real evictor must evict now."""
+        self.window.append((self.next_id, self.current))
+        self.next_id += 1
+        self.current = {}
+        evicted = set()
+        while len(self.window) > self.m:
+            _, expired = self.window.popleft()
+            for key in expired:
+                if brute_lambda(key, self.window, self.alpha) < self.threshold:
+                    evicted.add(key)
+        return evicted
+
+
+@given(schedule=schedules,
+       m=st.integers(min_value=1, max_value=5),
+       alpha=st.floats(min_value=0.05, max_value=0.99))
+@settings(max_examples=120, deadline=None)
+def test_incremental_score_matches_brute_force(schedule, m, alpha):
+    config = EvictionConfig(window_slices=m, alpha=alpha)
+    ev = SlidingWindowEvictor(config)
+    oracle = Oracle(m, alpha, config.effective_threshold)
+    for keys in schedule:
+        for k in keys:
+            ev.record(k)
+            oracle.record(k)
+        ev.end_slice()
+        oracle.end_slice()
+        for k in range(8):
+            expected = brute_lambda(k, oracle.window, alpha)
+            assert abs(ev.score(k) - expected) < 1e-9, \
+                f"key {k}: incremental {ev.score(k)} != brute {expected}"
+
+
+@given(schedule=schedules,
+       m=st.integers(min_value=1, max_value=5),
+       alpha=st.floats(min_value=0.05, max_value=0.99))
+@settings(max_examples=120, deadline=None)
+def test_eviction_set_is_exactly_below_threshold(schedule, m, alpha):
+    config = EvictionConfig(window_slices=m, alpha=alpha)
+    ev = SlidingWindowEvictor(config)
+    oracle = Oracle(m, alpha, config.effective_threshold)
+    # Default threshold is the paper baseline T_λ = α^(m-1).
+    assert abs(ev.threshold - alpha ** (m - 1)) < 1e-12
+    for keys in schedule:
+        for k in keys:
+            ev.record(k)
+            oracle.record(k)
+        batch = ev.end_slice()
+        expected = oracle.end_slice()
+        assert set(batch.evicted_keys) == expected
+
+
+@given(schedule=schedules, m=st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_single_appearance_survives_full_window(schedule, m):
+    """The baseline threshold keeps any key queried once within the
+    window: it only falls out when its last appearance expires, and
+    then silently (score 0, never a threshold fluke)."""
+    ev = SlidingWindowEvictor(EvictionConfig(window_slices=m, alpha=0.7))
+    seen_at = {}
+    for i, keys in enumerate(schedule):
+        for k in keys:
+            ev.record(k)
+            seen_at[k] = i
+        batch = ev.end_slice()
+        for k in batch.evicted_keys:
+            # Evicted ⇒ every appearance has left the window.
+            assert i - seen_at[k] >= m

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.cloud.network import NetworkModel
 from repro.cloud.provider import SimulatedCloud
 from repro.core.snapshot import load_cache, restore_cache, save_cache, snapshot
 from repro.sim.clock import SimClock

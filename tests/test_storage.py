@@ -3,10 +3,8 @@
 import pytest
 
 from repro.cloud.storage import (
-    MONTH_SECONDS,
     STORAGE_TIERS,
     StoragePlan,
-    StorageTier,
     compare_tiers,
 )
 

@@ -1,6 +1,5 @@
 """Tests for the composed tuned system."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.configs import fig5_params
