@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test check batch chaos overload bench bench-full figures export svg examples clean
+.PHONY: install test check batch chaos overload replicate bench bench-full figures export svg examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -42,6 +42,18 @@ batch:
 	$(PYTHON) -m pytest -m "slow or not slow" -q \
 		tests/test_batch.py tests/test_protocol_fuzz.py \
 		benchmarks/bench_batch.py
+
+# Replication suite: buddy-placement parity, hinted-handoff drain and
+# rebuild tests, the availability-vs-overhead bench, then a seeded
+# replica-kill nemesis run checked under the STRICT model (real process
+# death, zero lost acked writes — the buddy must cover the dead range).
+replicate:
+	REPRO_FAULT_SEED=20100607 PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),) \
+	$(PYTHON) -m pytest -m "slow or not slow" -q -k replica \
+		tests/test_replication_live.py tests/test_check_runner.py \
+		benchmarks/bench_replication.py
+	REPRO_FAULT_SEED=20100607 PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),) \
+	$(PYTHON) -m repro check --seed 20100607 --nemesis replica-kill
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,128 @@
+"""Live replication — post-kill availability vs steady-state overhead.
+
+The robustness trade the replica layer claims: killing a primary should
+leave its range's values readable from the ring-successor buddy (warm
+hits instead of a recompute storm), and paying for that — a second,
+per-key-serialized RPC on every write — must not tax the steady-state
+*read* path, which never touches the replica namespace while the
+primary is healthy.
+
+Measured here on a real 3-server loopback cluster, replication off vs
+on: steady-state read p99 (manual ``perf_counter`` timings over a
+read-heavy mix), then one kill (real process death + failover) and a
+single pass over the dead range counting queries served without
+recompute.
+"""
+
+import random
+import time
+
+from benchmarks._util import emit
+from repro.experiments.report import ascii_table
+from repro.live.client import LiveClusterClient
+from repro.live.coordinator import LiveCoordinator
+from repro.live.server import LiveCacheServer
+
+RING = 1 << 20
+KEYS = 180
+READS = 2400
+WRITE_EVERY = 20        #: one write per this many reads (read-heavy)
+SEED = 20100607
+
+
+def _percentile(samples, pct):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(pct / 100 * len(ordered)))]
+
+
+def _run(replicated: bool):
+    rng = random.Random(SEED)
+    servers = [LiveCacheServer(capacity_bytes=1 << 22).start()
+               for _ in range(3)]
+    cluster = LiveClusterClient([s.address for s in servers],
+                                ring_range=RING, replication=replicated)
+    computes = [0]
+
+    def compute(key: int) -> bytes:
+        computes[0] += 1
+        return b"payload-%d" % key
+
+    coordinator = LiveCoordinator(cluster, compute)
+    try:
+        keys = [j * (RING // KEYS) for j in range(KEYS)]
+        for k in keys:
+            cluster.put(k, b"payload-%d" % k)
+
+        # Steady state: reads all hit; the occasional write exercises
+        # the (replicated) put path without letting it dominate p99.
+        read_lat, write_lat = [], []
+        for i in range(READS):
+            key = keys[rng.randrange(KEYS)]
+            if i % WRITE_EVERY == 0:
+                t0 = time.perf_counter()
+                cluster.put(key, b"payload-%d" % key)
+                write_lat.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            coordinator.query(key)
+            read_lat.append(time.perf_counter() - t0)
+
+        # Kill the owner of the first key — real process death, then
+        # the failover the detector would perform.
+        victim = cluster.address_for(keys[0])
+        vkeys = [k for k in keys if cluster.address_for(k) == victim]
+        servers[[s.address for s in servers].index(victim)].stop()
+        cluster.fail_server(victim, forward=False)
+
+        # One pass over the dead range: how much of it is still served
+        # from cache (buddy replicas) rather than recomputed?
+        computes[0] = 0
+        for k in vkeys:
+            coordinator.query(k)
+        post_kill_hits = len(vkeys) - computes[0]
+
+        return {
+            "replicated": replicated,
+            "read_p50_ms": _percentile(read_lat, 50) * 1e3,
+            "read_p99_ms": _percentile(read_lat, 99) * 1e3,
+            "write_p99_ms": _percentile(write_lat, 99) * 1e3,
+            "victim_keys": len(vkeys),
+            "post_kill_hits": post_kill_hits,
+            "post_kill_hit_rate": post_kill_hits / len(vkeys),
+        }
+    finally:
+        cluster.close()
+        for s in servers:
+            s.stop()
+
+
+def test_replication_availability_vs_overhead(benchmark):
+    results = benchmark.pedantic(lambda: [_run(False), _run(True)],
+                                 rounds=1, iterations=1)
+    base, repl = results
+    emit("bench_replication", ascii_table(
+        ["config", "read p50 ms", "read p99 ms", "write p99 ms",
+         "victim keys", "post-kill hits", "post-kill hit rate"],
+        [[("replicated" if r["replicated"] else "unprotected"),
+          round(r["read_p50_ms"], 3), round(r["read_p99_ms"], 3),
+          round(r["write_p99_ms"], 3), r["victim_keys"],
+          r["post_kill_hits"], round(r["post_kill_hit_rate"], 3)]
+         for r in results],
+        title="Live buddy replication: one primary killed mid-run "
+              f"({KEYS} keys, {READS} steady-state reads)"))
+    benchmark.extra_info.update({
+        "post_kill_hit_rate_unprotected": base["post_kill_hit_rate"],
+        "post_kill_hit_rate_replicated": repl["post_kill_hit_rate"],
+        "read_p99_ms_unprotected": base["read_p99_ms"],
+        "read_p99_ms_replicated": repl["read_p99_ms"],
+    })
+
+    # The kill hit a real share of the keyspace...
+    assert base["victim_keys"] >= KEYS // 6
+    # ...replication keeps the dead range warm (the unprotected
+    # cluster recomputes essentially all of it)...
+    assert repl["post_kill_hit_rate"] >= 0.9
+    assert repl["post_kill_hit_rate"] >= 2 * max(
+        base["post_kill_hit_rate"], 0.25)
+    # ...and the steady-state read path does not pay for it: replica
+    # legs ride only on writes, reads never consult a healthy buddy.
+    assert repl["read_p99_ms"] <= 1.15 * base["read_p99_ms"] + 0.05

@@ -76,7 +76,7 @@ class ClusterNemesis(LiveFaultDriver):
 #: named schedules accepted by :func:`nemesis_plan`, ``repro check
 #: --nemesis`` and the chaos regression suite
 NEMESES = ("mix", "split", "merge", "killrestore", "crash", "overload",
-           "none", "random")
+           "replica-kill", "none", "random")
 
 #: nemeses whose histories must be checked **lossy** (real process
 #: death destroys records; misses become legal at any time)
@@ -120,6 +120,16 @@ def nemesis_plan(name: str, total_ops: int, rng=None) -> FaultPlan:
         return FaultPlan([
             FaultEvent(at=frac(0.3), kind="overload", node=0,
                        duration=frac(0.2)),
+        ])
+    if name == "replica-kill":
+        # Real process death like "crash", but the runner enables buddy
+        # replication — every acked write also lives on the victim's
+        # ring successor, so the history stays checkable STRICT: reads
+        # during the outage must come back from the buddy, and restore
+        # must not resurrect stale values.
+        return FaultPlan([
+            FaultEvent(at=frac(0.35), kind="crash", node=1),
+            FaultEvent(at=frac(0.65), kind="recover", node=1),
         ])
     if name == "random":
         if rng is None:

@@ -50,6 +50,7 @@ class CheckConfig:
     nemesis: str = "mix"      #: schedule name (see NEMESES)
     ring_range: int = 1 << 20
     capacity_bytes: int = 1 << 22
+    replicate: bool | None = None  #: buddy replication (auto for replica-kill)
 
     def __post_init__(self) -> None:
         if self.nemesis not in NEMESES:
@@ -59,6 +60,10 @@ class CheckConfig:
             raise ValueError("need at least one client and one op")
         if not 1 <= self.keyspace <= self.ring_range:
             raise ValueError("keyspace must fit the ring")
+        if self.replicate is None:
+            # replica-kill's whole point is surviving real process death
+            # with the strict model — that only holds with buddies on.
+            self.replicate = self.nemesis == "replica-kill"
 
     @property
     def lossy(self) -> bool:
@@ -179,7 +184,9 @@ def _split_bucket(cluster: LiveClusterClient) -> int | None:
 def _wire_nemesis(config: CheckConfig, cluster: LiveClusterClient,
                   fleet: _Fleet, history: History,
                   rng: random.Random) -> ClusterNemesis:
-    crash_style = config.lossy
+    # replica-kill destroys a real process like "crash", but keeps the
+    # strict model: the buddy replica must cover the dead range.
+    crash_style = config.lossy or config.nemesis == "replica-kill"
 
     def kill(slot: int) -> None:
         addr = fleet.addresses[slot]
@@ -283,7 +290,8 @@ def run_check(config: CheckConfig) -> CheckReport:
     fleet = _Fleet(config)
     cluster = LiveClusterClient(fleet.addresses,
                                 ring_range=config.ring_range,
-                                retry=CHECK_RETRY, timeout=2.0)
+                                retry=CHECK_RETRY, timeout=2.0,
+                                replication=bool(config.replicate))
     nemesis = _wire_nemesis(config, cluster, fleet, history, rng)
     nemesis_errors: list[BaseException] = []
     worker_errors: list[BaseException] = []

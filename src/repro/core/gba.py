@@ -98,6 +98,10 @@ class GreedyBucketAllocator:
         self.allocate_node = allocate_node
         self.live_nodes = live_nodes
         self.split_events: list[SplitEvent] = []
+        #: optional observer invoked with each :class:`SplitEvent` right
+        #: after it lands — replication layers hook this to re-place
+        #: buddies when a split changes ring ownership
+        self.on_split: Callable[[SplitEvent], None] | None = None
 
     # ------------------------------------------------------------- insert
 
@@ -231,6 +235,8 @@ class GreedyBucketAllocator:
             allocation_s=alloc_s,
         )
         self.split_events.append(event)
+        if self.on_split is not None:
+            self.on_split(event)
         return event
 
     @staticmethod

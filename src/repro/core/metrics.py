@@ -57,6 +57,10 @@ class StepStats:
     batches: int = 0             #: multi-key batches issued
     batched_keys: int = 0        #: keys carried by those batches
     stripe_contention: int = 0   #: peak server lock-stripe contention seen
+    # replication counters (populated with buddy replication enabled)
+    replica_hits: int = 0        #: degraded reads served from a buddy copy
+    handoff_depth: int = 0       #: peak hinted-handoff queue depth observed
+    rebuild_bytes: int = 0       #: bytes re-placed by anti-entropy rebuilds
 
     @property
     def mean_batch_size(self) -> float:
@@ -124,6 +128,8 @@ class MetricsRecorder:
         self.total_breaker_fastfails = 0
         self.total_batches = 0
         self.total_batched_keys = 0
+        self.total_replica_hits = 0
+        self.total_rebuild_bytes = 0
         #: per-query latency log (enabled with ``keep_latencies=True``);
         #: needed for tail percentiles, which step means wash out.
         self.keep_latencies = keep_latencies
@@ -201,6 +207,28 @@ class MetricsRecorder:
             s.recovery_s += downtime_s
             self.total_recoveries += 1
             self.total_recovery_s += downtime_s
+
+    # ------------------------------------------------- replication hooks
+
+    def record_replica_hit(self) -> None:
+        """Account one degraded read served from a buddy's replica copy
+        (a recompute the replication layer saved)."""
+        with self._lock:
+            self._current().replica_hits += 1
+            self.total_replica_hits += 1
+
+    def record_handoff_depth(self, depth: int) -> None:
+        """Track the peak hinted-handoff queue depth seen this step
+        (hints parked on buddies, awaiting a restore drain)."""
+        with self._lock:
+            s = self._current()
+            s.handoff_depth = max(s.handoff_depth, depth)
+
+    def record_rebuild(self, nbytes: int) -> None:
+        """Account bytes re-placed by one anti-entropy rebuild pass."""
+        with self._lock:
+            self._current().rebuild_bytes += nbytes
+            self.total_rebuild_bytes += nbytes
 
     # ---------------------------------------------------- overload hooks
 
@@ -368,7 +396,8 @@ class MetricsRecorder:
                   "degraded", "recoveries", "recovery_s", "shed",
                   "shed_background", "deadline_misses",
                   "breaker_fastfails", "queue_depth", "batches",
-                  "batched_keys", "stripe_contention"]
+                  "batched_keys", "stripe_contention", "replica_hits",
+                  "handoff_depth", "rebuild_bytes"]
         lines = [",".join(fields)]
         for s in self.steps:
             lines.append(",".join(
@@ -410,4 +439,6 @@ class MetricsRecorder:
             "batched_keys": self.total_batched_keys,
             "mean_batch_size": (self.total_batched_keys / self.total_batches
                                 if self.total_batches else 0.0),
+            "replica_hits": self.total_replica_hits,
+            "rebuild_bytes": self.total_rebuild_bytes,
         }

@@ -155,6 +155,33 @@ class ConsistentHashRing:
         """All bucket positions referencing ``node``."""
         return [b for b in self.buckets if self.node_map[b] is node]
 
+    def successor_owner(self, pos: int):
+        """The buddy-placement rule: owner of the first bucket circularly
+        after ``pos`` that references a *different* node.
+
+        Replication places each bucket's copy on this node, so a whole-node
+        failure (all of a node's buckets at once) never takes out both the
+        primary and its replica.  Returns ``None`` when every bucket
+        references the same node (nowhere distinct to replicate).
+        """
+        if pos not in self.node_map:
+            raise RingError(f"no bucket at {pos}")
+        owner = self.node_map[pos]
+        idx = bisect_left(self.buckets, pos)
+        for step in range(1, len(self.buckets)):
+            candidate = self.buckets[(idx + step) % len(self.buckets)]
+            node = self.node_map[candidate]
+            if node is not owner and node != owner:
+                return node
+        return None
+
+    def predecessor_bucket(self, pos: int) -> int:
+        """The bucket circularly before ``pos`` (itself when alone)."""
+        if pos not in self.node_map:
+            raise RingError(f"no bucket at {pos}")
+        idx = bisect_left(self.buckets, pos)
+        return self.buckets[idx - 1]
+
     def interval_segments(self, pos: int) -> list[tuple[int, int]]:
         """The hash-line segment(s) bucket ``pos`` covers, as inclusive
         ``(lo, hi)`` pairs **in circular order**.

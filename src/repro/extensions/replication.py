@@ -9,6 +9,13 @@ ring's node list), and can rebuild a failed node's records from those
 replicas — turning a node loss from a cold-cache event into a brief
 re-insert burst.
 
+Placement follows the *ring successor* rule — a record's buddy is the
+owner of the first bucket circularly after the record's own bucket that
+belongs to a different node — which is exactly the rule the live
+cluster's :class:`repro.live.replica.ReplicaManager` uses, so sim and
+live agree on where every replica lands (asserted by the parity test in
+``tests/test_replication_live.py``).
+
 Replicas live outside the primary capacity accounting (a real deployment
 would reserve headroom for them; the ``replica_headroom`` knob models
 that).
@@ -42,18 +49,30 @@ class ReplicationManager:
     replicas: dict[str, dict[int, CacheRecord]] = field(default_factory=dict)
     recovered_records: int = 0
 
+    def buddy_for_hkey(self, hkey: int) -> CacheNode | None:
+        """The replica target for one record: the **ring successor** —
+        owner of the first bucket circularly after the record's bucket
+        that belongs to a different node.  ``None`` while one node owns
+        the whole ring.  Matches the live cluster's placement rule."""
+        ring = self.cache.ring
+        return ring.successor_owner(ring.bucket_for_hkey(hkey))
+
     def buddy_of(self, node: CacheNode) -> CacheNode | None:
-        """The replica target: next node in registration order."""
-        nodes = self.cache.nodes
-        if len(nodes) < 2:
+        """The replica target for ``node``'s first bucket's range.
+
+        Kept for API compatibility; placement is really per-*record*
+        (:meth:`buddy_for_hkey`) — a node owning several buckets can
+        have a different buddy per range.
+        """
+        ring = self.cache.ring
+        buckets = ring.buckets_of(node)
+        if not buckets:
             return None
-        idx = nodes.index(node)
-        return nodes[(idx + 1) % len(nodes)]
+        return ring.successor_owner(buckets[0])
 
     def on_insert(self, record: CacheRecord) -> None:
         """Replicate one freshly cached record to its buddy."""
-        owner: CacheNode = self.cache.ring.node_for_hkey(record.hkey)
-        buddy = self.buddy_of(owner)
+        buddy = self.buddy_for_hkey(record.hkey)
         if buddy is None:
             return
         self.replicas.setdefault(buddy.node_id, {})[record.hkey] = record
@@ -61,21 +80,32 @@ class ReplicationManager:
     def sync(self) -> int:
         """Rebuild every replica store from current cache contents.
 
-        Replica placement goes stale as migrations move primaries between
-        nodes; experiments call this at step boundaries (cheap — it walks
-        records, not bytes over the network).  Returns records replicated.
+        Replica placement goes stale as migrations and splits move
+        primaries between nodes; experiments call this at step
+        boundaries (cheap — it walks records, not bytes over the
+        network).  Returns records replicated.
         """
         self.replicas.clear()
         count = 0
         for node in self.cache.nodes:
-            buddy = self.buddy_of(node)
-            if buddy is None:
-                continue
-            store = self.replicas.setdefault(buddy.node_id, {})
             for _, rec in node.tree.items():
-                store[rec.hkey] = rec
+                buddy = self.buddy_for_hkey(rec.hkey)
+                if buddy is None:
+                    continue
+                self.replicas.setdefault(buddy.node_id, {})[rec.hkey] = rec
                 count += 1
         return count
+
+    def attach(self) -> None:
+        """Hook the cache's allocator so replica placement tracks ring
+        changes: every GBA split triggers a full re-:meth:`sync` (a
+        split moves a range to a fresh node, which both invalidates old
+        buddies for that range and makes the new node a buddy candidate
+        for its ring predecessor)."""
+        gba = getattr(self.cache, "gba", None)
+        if gba is None:
+            return
+        gba.on_split = lambda event: self.sync()
 
     def replica_count(self) -> int:
         """Total replicated records."""

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 from repro.core.ring import ConsistentHashRing
 from repro.faults.retry import RetryPolicy, call_with_retry
+from repro.live.replica import ReplicaManager
 from repro.live.protocol import (MAX_BATCH, DeadlineError, OverloadedError,
                                  ProtocolError, ServerError, enable_nodelay,
                                  FrameReader, error_from_reply, send_frame,
@@ -214,17 +215,22 @@ class LiveCacheClient:
         return bool(reply.get("pong"))
 
     def get(self, key: int, deadline_ms: float | None = None,
-            priority: str | None = None) -> bytes | None:
-        """Fetch a value, or ``None`` on miss."""
+            priority: str | None = None,
+            replica: bool = False) -> bytes | None:
+        """Fetch a value, or ``None`` on miss.  ``replica=True`` reads
+        the server's replica namespace instead of the primary store."""
         header = {"op": "get", "key": key}
         if priority is not None:
             header["priority"] = priority
+        if replica:
+            header["replica"] = True
         reply, body = self._call(header, deadline_ms=deadline_ms)
         self._ok(reply, "get failed")
         return body if reply.get("found") else None
 
     def put(self, key: int, value: bytes, deadline_ms: float | None = None,
-            priority: str | None = None, if_absent: bool = False) -> int:
+            priority: str | None = None, if_absent: bool = False,
+            replica: bool = False) -> int:
         """Store a value; returns bytes freed by an overwrite (0 if new).
 
         ``if_absent`` makes the write conditional: a key the server
@@ -245,15 +251,19 @@ class LiveCacheClient:
             header["priority"] = priority
         if if_absent:
             header["if_absent"] = True
+        if replica:
+            header["replica"] = True
         reply, _ = self._call(header, body=value, deadline_ms=deadline_ms)
         self._ok(reply, "put failed")
         return int(reply.get("freed", 0))
 
-    def delete(self, key: int,
-               deadline_ms: float | None = None) -> tuple[bool, int]:
+    def delete(self, key: int, deadline_ms: float | None = None,
+               replica: bool = False) -> tuple[bool, int]:
         """Remove a key; returns ``(existed, bytes_freed)``."""
-        reply, _ = self._call({"op": "delete", "key": key},
-                              deadline_ms=deadline_ms)
+        header: dict = {"op": "delete", "key": key}
+        if replica:
+            header["replica"] = True
+        reply, _ = self._call(header, deadline_ms=deadline_ms)
         self._ok(reply, "delete failed")
         return bool(reply.get("found")), int(reply.get("freed", 0))
 
@@ -266,12 +276,15 @@ class LiveCacheClient:
     def _send_batch(self, sock: socket.socket, op: str, chunk: list,
                     expires_at: float | None,
                     priority: str | None,
-                    if_absent: bool = False) -> None:
+                    if_absent: bool = False,
+                    replica: bool = False) -> None:
         header: dict = {"op": op, "n": len(chunk)}
         if priority is not None:
             header["priority"] = priority
         if if_absent:
             header["if_absent"] = True
+        if replica:
+            header["replica"] = True
         frames: list[tuple[dict, bytes]] = [
             (self._stamp_deadline(header, expires_at), b"")]
         if op == "multi_put":
@@ -285,7 +298,8 @@ class LiveCacheClient:
     def _pipelined_attempt(self, op: str, chunks: list[list], state: dict,
                            expires_at: float | None,
                            priority: str | None,
-                           if_absent: bool = False) -> None:
+                           if_absent: bool = False,
+                           replica: bool = False) -> None:
         """One pipelined pass over the chunks not yet acknowledged.
 
         Up to ``pipeline_depth`` batches ride the wire before the first
@@ -306,7 +320,8 @@ class LiveCacheClient:
                 while (i < len(chunks) and error is None
                        and len(pending) < self.pipeline_depth):
                     self._send_batch(sock, op, chunks[i], expires_at,
-                                     priority, if_absent=if_absent)
+                                     priority, if_absent=if_absent,
+                                     replica=replica)
                     pending.append(i)
                     i += 1
                 if not pending:
@@ -350,7 +365,8 @@ class LiveCacheClient:
             raise error
 
     def multi_get(self, keys: list[int], deadline_ms: float | None = None,
-                  priority: str | None = None) -> dict[int, bytes]:
+                  priority: str | None = None,
+                  replica: bool = False) -> dict[int, bytes]:
         """Batched fetch: returns ``{key: value}`` for the found keys.
 
         One wire round-trip per ``max_batch`` keys (chunks pipelined up
@@ -367,7 +383,8 @@ class LiveCacheClient:
         with self._lock:
             call_with_retry(
                 lambda: self._pipelined_attempt("multi_get", chunks, state,
-                                                expires_at, priority),
+                                                expires_at, priority,
+                                                replica=replica),
                 self.retry,
                 retry_on=(ProtocolError, OSError),
                 give_up_on=(OverloadedError, DeadlineError, ServerError),
@@ -379,7 +396,8 @@ class LiveCacheClient:
     def multi_put(self, items: list[tuple[int, bytes]],
                   deadline_ms: float | None = None,
                   priority: str | None = None,
-                  if_absent: bool = False) -> MultiPutResult:
+                  if_absent: bool = False,
+                  replica: bool = False) -> MultiPutResult:
         """Batched store; never raises — the :class:`MultiPutResult`
         carries the partial-apply state a caller needs either way.
 
@@ -403,7 +421,8 @@ class LiveCacheClient:
                     lambda: self._pipelined_attempt("multi_put", chunks,
                                                     state, expires_at,
                                                     priority,
-                                                    if_absent=if_absent),
+                                                    if_absent=if_absent,
+                                                    replica=replica),
                     self.retry,
                     retry_on=(ProtocolError, OSError),
                     give_up_on=(OverloadedError, DeadlineError,
@@ -461,9 +480,13 @@ class LiveCacheClient:
                 on_retry=self._note_retry,
             )
 
-    def sweep(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
+    def sweep(self, lo: int, hi: int,
+              replica: bool = False) -> list[tuple[int, bytes]]:
         """Read all records in ``[lo, hi]`` (non-destructive, retryable)."""
-        _, records = self._ranged_retrying({"op": "sweep", "lo": lo, "hi": hi})
+        header: dict = {"op": "sweep", "lo": lo, "hi": hi}
+        if replica:
+            header["replica"] = True
+        _, records = self._ranged_retrying(header)
         return records
 
     def extract_legacy(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
@@ -483,46 +506,61 @@ class LiveCacheClient:
     # ------------------------------------------------- two-phase extract
 
     def extract_prepare(self, lo: int, hi: int,
-                        lease_s: float | None = None
+                        lease_s: float | None = None,
+                        replica: bool = False
                         ) -> tuple[str, list[tuple[int, bytes]]]:
         """Snapshot ``[lo, hi]`` under a transfer token; records are
         **retained** at the server until :meth:`extract_commit`.
 
         Retryable: a replay issues a fresh token and streams the same
         (still-present) records; an orphaned token simply lease-expires.
+        ``replica=True`` runs against the replica namespace (its own
+        trees *and* its own transfer ledger) — handoff drains and
+        anti-entropy sweeps use this.
         """
         header = {"op": "extract_prepare", "lo": lo, "hi": hi}
         if lease_s is not None:
             header["lease_s"] = lease_s
+        if replica:
+            header["replica"] = True
         reply, records = self._ranged_retrying(header)
         return str(reply["token"]), records
 
-    def extract_commit(self, token: str) -> int:
+    def extract_commit(self, token: str, replica: bool = False) -> int:
         """Delete the records snapshotted under ``token``; idempotent.
 
         Returns the number of records removed (0 when the token is
         unknown — already committed, aborted, or expired — which is
         exactly what a retried commit after a lost reply should see).
+        ``replica`` must match the prepare: each namespace has its own
+        transfer ledger.
         """
-        reply, _ = self._call({"op": "extract_commit", "token": token})
+        header: dict = {"op": "extract_commit", "token": token}
+        if replica:
+            header["replica"] = True
+        reply, _ = self._call(header)
         self._ok(reply, "extract_commit failed")
         return int(reply.get("removed", 0))
 
-    def extract_abort(self, token: str) -> bool:
+    def extract_abort(self, token: str, replica: bool = False) -> bool:
         """Release a prepared snapshot without deleting; idempotent."""
-        reply, _ = self._call({"op": "extract_abort", "token": token})
+        header: dict = {"op": "extract_abort", "token": token}
+        if replica:
+            header["replica"] = True
+        reply, _ = self._call(header)
         self._ok(reply, "extract_abort failed")
         return bool(reply.get("released"))
 
-    def extract(self, lo: int, hi: int) -> list[tuple[int, bytes]]:
+    def extract(self, lo: int, hi: int,
+                replica: bool = False) -> list[tuple[int, bytes]]:
         """Read *and remove* all records in ``[lo, hi]`` — two-phase.
 
         Equivalent to the old destructive extract from the caller's
         perspective, but a crash between phases leaves the records on
         the server (the prepare lease expires) instead of losing them.
         """
-        token, records = self.extract_prepare(lo, hi)
-        self.extract_commit(token)
+        token, records = self.extract_prepare(lo, hi, replica=replica)
+        self.extract_commit(token, replica=replica)
         return records
 
     def stats(self) -> dict:
@@ -597,6 +635,14 @@ class LiveClusterClient:
         spaced buckets (plus the sentinel at ``r-1``).
     ring_range:
         The hash line ``[0, r)``; keys must be below it (identity mode).
+    replication:
+        Enable ring-successor buddy replication
+        (:class:`~repro.live.replica.ReplicaManager`): every put is
+        mirrored to its bucket's successor owner, reads in failed-over
+        ranges consult the buddy before reporting a miss, writes during
+        an outage leave hints the restore drains home, and topology
+        changes trigger an anti-entropy rebuild.  Off by default — the
+        unreplicated cluster behaves exactly as before.
 
     Examples
     --------
@@ -610,7 +656,8 @@ class LiveClusterClient:
     def __init__(self, addresses: list[tuple[str, int]],
                  ring_range: int = 1 << 32,
                  retry: RetryPolicy | None = None,
-                 timeout: float = 5.0) -> None:
+                 timeout: float = 5.0,
+                 replication: bool = False) -> None:
         if not addresses:
             raise ValueError("need at least one server")
         self.ring = ConsistentHashRing(ring_range=ring_range)
@@ -641,6 +688,9 @@ class LiveClusterClient:
         #: still-reachable clients of failed-over servers (forwarding
         #: sources until restore), keyed by address.
         self._forward_clients: dict[tuple[str, int], LiveCacheClient] = {}
+        #: buddy-replication layer, or ``None`` when disabled.
+        self.replica: ReplicaManager | None = (
+            ReplicaManager(self) if replication else None)
         r = ring_range
         n = len(addresses)
         for i, addr in enumerate(addresses):
@@ -783,6 +833,10 @@ class LiveClusterClient:
         until the copy lands and at the destination from then on, so
         the dst → src → dst read sequence can only report a miss for a
         key that genuinely had no committed value.
+        With replication enabled, a key inside a failed-over range gets
+        one more fallback after the forward chain: its claimed buddy's
+        replica namespace.  Owner first, replica last — an outage write
+        lands on the interim owner, so the newest value always wins.
         """
         with self._topo.shared():
             value = self.client_for(key).get(key, deadline_ms=deadline_ms,
@@ -795,20 +849,41 @@ class LiveClusterClient:
                     if value is None:
                         value = self.client_for(key).get(
                             key, deadline_ms=deadline_ms, priority=priority)
+            if value is None and self.replica is not None:
+                value = self.replica.read(key, deadline_ms=deadline_ms,
+                                          priority=priority)
             return value
 
     def put(self, key: int, value: bytes, deadline_ms: float | None = None,
             priority: str | None = None) -> None:
-        """Routed store (accounting flows through the shared ring)."""
+        """Routed store (accounting flows through the shared ring).
+
+        With replication enabled the write is primary-then-buddy under
+        the key's replica lock (see
+        :meth:`~repro.live.replica.ReplicaManager.replicate`); a failed
+        replica leg raises a plain :class:`ProtocolError` *after* the
+        primary applied — callers treating that as "may have applied"
+        (as the consistency harness does) stay sound.
+        """
         with self._topo.shared():
-            freed = self.client_for(key).put(key, value,
-                                             deadline_ms=deadline_ms,
-                                             priority=priority)
-            self._account_insert(key, len(value), freed)
+            if self.replica is None:
+                freed = self.client_for(key).put(key, value,
+                                                 deadline_ms=deadline_ms,
+                                                 priority=priority)
+                self._account_insert(key, len(value), freed)
+                return
+            with self.replica.key_lock(key):
+                freed = self.client_for(key).put(key, value,
+                                                 deadline_ms=deadline_ms,
+                                                 priority=priority)
+                self._account_insert(key, len(value), freed)
+                self.replica.replicate(key, value, deadline_ms=deadline_ms,
+                                       priority=priority)
 
     def delete(self, key: int) -> bool:
         """Routed delete (also removes any in-flight migration copy so
-        the source cannot resurrect the key)."""
+        the source cannot resurrect the key, and — with replication —
+        the buddy copy, best-effort)."""
         with self._topo.shared():
             found, freed = self.client_for(key).delete(key)
             if found:
@@ -820,6 +895,9 @@ class LiveClusterClient:
                 except (ProtocolError, OSError):
                     src_found = False
                 found = found or src_found
+            if self.replica is not None:
+                with self.replica.key_lock(key):
+                    self.replica.forget(key)
             return found
 
     # ---------------------------------------------------- batched fan-out
@@ -888,6 +966,11 @@ class LiveClusterClient:
                 found.update(part)
             if self._forwards:
                 self._fetch_forwarded(keys, found, expires_at, priority)
+            if self.replica is not None:
+                self.replica.fill_from_replicas(
+                    keys, found,
+                    deadline_ms=self._remaining_ms(expires_at),
+                    priority=priority)
             return found
 
     def _fetch_forwarded(self, keys, found: dict, expires_at, priority
@@ -956,25 +1039,72 @@ class LiveClusterClient:
                 group, deadline_ms=self._remaining_ms(expires_at),
                 priority=priority)
 
-        stored_total = 0
         first_error: ProtocolError | None = None
         with self._topo.shared():
+            if self.replica is not None:
+                stored_total, first_error = self._put_many_replicated(
+                    items, expires_at, priority)
+            else:
+                stored_total = 0
+                groups = self._group_by_owner(items)
+                for group, result in self._fan_out(
+                        [lambda a=a, g=g: store(a, g)
+                         for a, g in groups.items()]):
+                    values = dict(group)
+                    for key in result.stored:
+                        self._account_insert(key, len(values[key]),
+                                             result.freed.get(key, 0))
+                        stored_total += 1
+                    if result.error is not None:
+                        self.batch_shard_failures += 1
+                        if first_error is None:
+                            first_error = result.error
+        if first_error is not None and on_error == "raise":
+            raise first_error
+        return stored_total
+
+    def _put_many_replicated(self, items, expires_at, priority
+                             ) -> tuple[int, ProtocolError | None]:
+        """:meth:`put_many` body with buddy replication.
+
+        Under the batch's key locks: primary fan-out as usual, then a
+        replica fan-out for the keys the primaries acked.  Only keys
+        whose *replica also* landed count toward the returned total —
+        a batch with failed replica legs reads as partially applied,
+        which conservative consumers (the consistency harness) treat as
+        "unknown whether applied", never as refused.
+        """
+        first_error: ProtocolError | None = None
+        values = dict(items)
+        with self.replica.key_locks(list(values)):
+            primary_stored: list[int] = []
             groups = self._group_by_owner(items)
+
+            def store(addr, group):
+                client = self.clients.get(addr)
+                if client is None:
+                    return group, MultiPutResult(
+                        error=ProtocolError(f"shard {addr} not in cluster"))
+                return group, client.multi_put(
+                    group, deadline_ms=self._remaining_ms(expires_at),
+                    priority=priority)
+
             for group, result in self._fan_out(
                     [lambda a=a, g=g: store(a, g)
                      for a, g in groups.items()]):
-                values = dict(group)
                 for key in result.stored:
                     self._account_insert(key, len(values[key]),
                                          result.freed.get(key, 0))
-                    stored_total += 1
+                    primary_stored.append(key)
                 if result.error is not None:
                     self.batch_shard_failures += 1
                     if first_error is None:
                         first_error = result.error
-        if first_error is not None and on_error == "raise":
-            raise first_error
-        return stored_total
+            replicated = self.replica.replicate_many(
+                [(k, values[k]) for k in primary_stored],
+                deadline_ms=self._remaining_ms(expires_at),
+                priority=priority)
+        return len(set(primary_stored) & set(replicated)), first_error
 
     # -------------------------------------------------------------- growth
 
@@ -1067,6 +1197,10 @@ class LiveClusterClient:
         for key in skipped:
             self._account_delete(key, sizes[key])
         self._drop_forwards(fwd)
+        if self.replica is not None:
+            # The split moved a range to the new owner, which moved the
+            # range's buddy (and the predecessor bucket's): re-place.
+            self.replica.rebuild_touching([bucket])
         return len(records)
 
     def remove_server(self, address: tuple[str, int]) -> int:
@@ -1091,6 +1225,7 @@ class LiveClusterClient:
         if len(self.clients) == 1:
             raise ValueError("cannot remove the last server")
         victim = self.clients[address]
+        drained_positions = list(self.ring.buckets_of(address))
 
         moved = 0
         for bucket in list(self.ring.buckets_of(address)):
@@ -1150,6 +1285,12 @@ class LiveClusterClient:
                 victim.extract_commit(token)
             self._drop_forwards(fwd)
         del self.clients[address]
+        if self.replica is not None:
+            # Contraction merged the victim's intervals into their ring
+            # successors — rebuild the absorbing buckets' replicas (the
+            # victim, already out of ``clients``, is skipped; its copies
+            # die with the instance).
+            self.replica.rebuild_touching(drained_positions)
         victim.close()
         return moved
 
@@ -1195,6 +1336,14 @@ class LiveClusterClient:
         (a real crash) the connection is closed and misses simply
         recompute.
 
+        With replication enabled the range map is handed to the replica
+        layer **first**: every segment a live buddy holds a copy of is
+        claimed as a replica read source (and hint target for outage
+        writes), and only what no replica covers is truly written off.
+        The bucket *accounting* is cleared either way — the interim
+        owner's primary namespace starts empty for the range; the data
+        survives in the buddy's separately-accounted replica namespace.
+
         Raises
         ------
         ValueError
@@ -1205,8 +1354,13 @@ class LiveClusterClient:
             owned = list(self.ring.buckets_of(address))
             reassignments = [(b, self._successor_owner(b, address))
                              for b in owned]
-            segments = [seg for b in owned
-                        for seg in self.ring.interval_segments(b)]
+            seg_map = {b: self.ring.interval_segments(b) for b in owned}
+            segments = [seg for segs in seg_map.values() for seg in segs]
+            if self.replica is not None:
+                # Hand the dead node's ranges to the replica layer
+                # before anything is discarded: claimed segments stay
+                # readable (and writable, via hints) on their buddies.
+                self.replica.claim_failed(address, seg_map)
             with self._acct:
                 for bucket, successor in reassignments:
                     self.ring.clear_load(bucket)
@@ -1234,6 +1388,15 @@ class LiveClusterClient:
         back two-phase — copied home *before* the interim owner deletes
         them, so a crash mid-restore cannot lose what the outage already
         paid to recompute.  Returns the number of records migrated back.
+
+        With replication enabled, three more steps follow the interim
+        migration: the hinted-handoff queue on the range's buddy is
+        drained home (conditionally — the interim copy is newer and
+        wins), the replica claims are released, and an anti-entropy
+        rebuild re-places the restored ranges' replicas under the
+        current ring.  Ordering matters: claims are held until the
+        drain lands, so a crash mid-restore leaves every pre-outage
+        record still readable through the buddy.
         """
         address = tuple(address)  # type: ignore[assignment]
         if address not in self._failed:
@@ -1314,15 +1477,53 @@ class LiveClusterClient:
             for token in interim_tokens:
                 interim.extract_commit(token)
             self._drop_forwards(fwd)
+        if self.replica is not None:
+            # Drain the hinted-handoff queue home.  Conditional behind
+            # the interim migration above: a hint never clobbers the
+            # newer value an outage write produced.  Only then drop the
+            # claims — if the drain dies, reads keep reaching the
+            # buddy's copies and a retried restore re-drains.
+            drained = self.replica.drain(address, client)
+            for key, value in drained:
+                self._account_insert(key, len(value))
+            moved += len(drained)
+            self.replica.release(address)
+        del self._failed[address]
+        if self.replica is not None:
+            # Anti-entropy: the restored buckets' replicas moved with
+            # the ring (and stray hint copies may linger); re-place
+            # them under the current layout.
+            self.replica.rebuild_touching(
+                [b for b in self.ring.buckets_of(address)])
         if fwd_client is not None:
             fwd_client.close()
-        del self._failed[address]
         return moved
 
     @property
     def failed_servers(self) -> list[tuple[str, int]]:
         """Addresses currently failed over (awaiting restore)."""
         return list(self._failed)
+
+    def replica_read(self, key: int,
+                     deadline_ms: float | None = None) -> bytes | None:
+        """Degraded-path consult: the buddy's replica copy of ``key``,
+        or ``None`` (no replication, no buddy, no copy, or the buddy
+        itself unreachable — errors are swallowed; the caller's
+        fallback is a recompute, which is always safe).  On a hit the
+        value is read-repaired to the routed owner (conditionally — a
+        concurrent newer write must win)."""
+        if self.replica is None:
+            return None
+        with self._topo.shared():
+            value = self.replica.degraded_read(key, deadline_ms=deadline_ms)
+            if value is not None:
+                try:
+                    self.client_for(key).put(key, value,
+                                             deadline_ms=deadline_ms,
+                                             if_absent=True)
+                except (ProtocolError, OSError):
+                    pass  # owner still down: the next consult serves it
+            return value
 
     def cluster_stats(self) -> dict:
         """Aggregated per-server stats keyed by ``host:port``."""

@@ -74,6 +74,7 @@ class LiveQueryStats:
     migrated_records: int = 0
     # failure-path counters
     degraded_queries: int = 0
+    replica_hits: int = 0        #: degraded queries served from a buddy copy
     failovers: int = 0
     recoveries: int = 0
     recovered_records: int = 0
@@ -375,17 +376,31 @@ class LiveCoordinator:
     def _query_degraded(self, key: int, addr: tuple[str, int],
                         t0: float, expires_at: float | None = None,
                         charge: bool = True) -> bytes:
-        """The slow-but-correct path: shard unreachable, recompute."""
+        """The slow-but-correct path: shard unreachable.  With
+        replication on, the buddy's copy is consulted (and read-repaired
+        toward the owner) before paying for a recompute — the paper's
+        "transient data availability" case; without one, recompute."""
         self.stats.degraded_queries += 1
-        self.stats.misses += 1
-        self._emit("degraded", f"key {key} recomputed around "
-                               f"{addr[0]}:{addr[1]}")
         if self.metrics is not None:
             self.metrics.record_degraded()
         if charge:
             self._charge_failure(addr)
         if self.detector.is_down(addr):
             self._fail_over(addr)
+        value = self.cluster.replica_read(
+            key, deadline_ms=self._remaining_ms(expires_at))
+        if value is not None:
+            self.stats.hits += 1
+            self.stats.replica_hits += 1
+            self._emit("replica_hit", f"key {key} served from buddy of "
+                                      f"{addr[0]}:{addr[1]}")
+            if self.metrics is not None:
+                self.metrics.record_replica_hit()
+            self._note_query(hit=True, t0=t0)
+            return value
+        self.stats.misses += 1
+        self._emit("degraded", f"key {key} recomputed around "
+                               f"{addr[0]}:{addr[1]}")
         value = self.compute(key)
         # After a repair the write routes to the surviving owner and
         # repopulates; before one it may fail again — that's fine, the

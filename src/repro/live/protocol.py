@@ -74,6 +74,14 @@ Any request may additionally carry:
     ``"user"`` (default) or ``"background"``.  Under load pressure the
     server sheds background traffic first (prefetch/warm fills are
     cheaper to drop than user-facing queries are to delay).
+``"replica"``
+    When truthy, the op targets the server's **replica namespace** — a
+    second store (sized by the server's ``replica_headroom``) holding
+    buddy copies of other nodes' ranges, accounted separately from
+    primary capacity.  Every data op (point, multi, sweep, and the
+    two-phase extract family) honors the flag, so replication, hinted
+    handoff, and anti-entropy rebuild reuse the batched wire path
+    unchanged; see :mod:`repro.live.replica`.
 
 Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error": str}``.
 An admission-queue overflow answers

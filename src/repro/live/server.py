@@ -32,6 +32,18 @@ Migration safety: the ``extract_prepare``/``extract_commit``/
 ``extract_abort`` family (backed by a
 :class:`~repro.live.migration.TransferLedger`) replaces destructive
 extraction for cluster migrations — see :mod:`repro.live.migration`.
+
+Replica namespace
+-----------------
+Every server additionally hosts a **replica namespace**: a second,
+independently-accounted :class:`_Store` holding buddy copies of *other*
+nodes' ranges (see :mod:`repro.live.replica`).  Any wire op carrying a
+truthy ``replica`` header field is routed to it, so replication reuses
+the entire batched wire path — puts, multi ops, sweeps, and the
+two-phase extract family all work against either namespace.  Replica
+capacity is ``capacity_bytes * replica_headroom`` and sits *outside*
+primary capacity accounting: holding a buddy's copies can never cause a
+node's own primaries to overflow.
 """
 
 from __future__ import annotations
@@ -576,6 +588,10 @@ class _Handler(socketserver.BaseRequestHandler):
                   expires_at: float | None, batch: list | None = None) -> None:
         op = header.get("op")
         sock = self.request
+        if header.get("replica"):
+            # Replica-flagged frames operate on the buddy-copy namespace:
+            # same ops, separate trees, separate capacity accounting.
+            store = self.server.replica_store  # type: ignore[attr-defined]
         if self._expired(expires_at):
             send_frame(sock, {"ok": False, "error": "deadline_exceeded"})
             return
@@ -677,6 +693,15 @@ class _Handler(socketserver.BaseRequestHandler):
             }
             reply.update(store.counters_snapshot())
             reply.update(gate.snapshot())
+            replica: _Store = self.server.replica_store  # type: ignore[attr-defined]
+            counters = replica.counters_snapshot()
+            reply["replica"] = {
+                "capacity_bytes": replica.capacity_bytes,
+                "records": counters["records"],
+                "used_bytes": counters["used_bytes"],
+                "hits": counters["hits"],
+                "misses": counters["misses"],
+            }
             send_frame(sock, reply)
         else:
             send_frame(sock, {"ok": False, "error": f"unknown op {op!r}"})
@@ -729,6 +754,11 @@ class LiveCacheServer:
         Synthetic per-op service time (slept while *holding* a worker
         slot, outside the store lock).  Zero in production; the overload
         benchmark uses it to make saturation reproducible.
+    replica_headroom:
+        Sizes the replica namespace as a fraction of ``capacity_bytes``.
+        Buddy copies are accounted there, never against primary
+        capacity; ``1.0`` means the node can mirror a peer of its own
+        size.
 
     Examples
     --------
@@ -744,13 +774,18 @@ class LiveCacheServer:
                  idle_timeout_s: float | None = 60.0,
                  lease_s: float = 30.0,
                  op_delay_s: float = 0.0,
-                 stripes: int = 8) -> None:
+                 stripes: int = 8,
+                 replica_headroom: float = 1.0) -> None:
         self.store = _Store(capacity_bytes, order, lease_s=lease_s,
                             stripes=stripes)
+        self.replica_store = _Store(
+            max(1, int(capacity_bytes * replica_headroom)), order,
+            lease_s=lease_s, stripes=stripes)
         self.gate = AdmissionGate(max_workers=max_workers,
                                   max_queue=max_queue)
         self._server = _TCPServer((host, port), _Handler)
         self._server.store = self.store  # type: ignore[attr-defined]
+        self._server.replica_store = self.replica_store  # type: ignore[attr-defined]
         self._server.gate = self.gate  # type: ignore[attr-defined]
         self._server.idle_timeout_s = idle_timeout_s  # type: ignore[attr-defined]
         self._server.op_delay_s = op_delay_s  # type: ignore[attr-defined]

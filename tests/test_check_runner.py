@@ -69,6 +69,21 @@ def test_crash_nemesis_is_checked_lossy():
     assert report.config.lossy
 
 
+@pytest.mark.parametrize("seed", REGRESSION_SEEDS)
+def test_replica_kill_nemesis_is_strict(seed):
+    # Same real process death as "crash", but buddy replication is on —
+    # so the history must hold to the STRICT model: acked writes into
+    # the dead range stay readable (from the buddy's replica namespace)
+    # and the restore drain may not resurrect stale values.
+    report = run(seed, "replica-kill")
+    assert report.ok, report.render()
+    assert report.config.replicate
+    assert not report.config.lossy
+    kinds = [e.kind for e in report.nemesis_events]
+    assert "crash" in kinds and "recover" in kinds
+    assert not any(v.reason == "lost_ack" for v in report.result.violations)
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("offset", range(6))
 def test_randomized_nemesis_sweep(offset):

@@ -1,0 +1,423 @@
+"""Buddy replication over the live cluster: placement parity with the
+simulator, the replica namespace, hinted handoff, drain crash safety,
+and anti-entropy rebuild.
+
+The interesting invariants:
+
+- sim and live agree on *where* every replica lives (ring-successor
+  rule), so conclusions drawn in simulation transfer to the cluster;
+- a put acked before its primary dies stays readable from the buddy
+  (the Hypothesis property below), and the restore drain can crash at
+  any phase without losing an acked record;
+- without a surviving buddy the cluster degrades exactly as the
+  unreplicated design did — write off, miss, recompute — never worse.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ring import ConsistentHashRing
+from repro.extensions.replication import ReplicationManager
+from repro.live.client import LiveCacheClient, LiveClusterClient
+from repro.live.migration import TransferLedger
+from repro.live.protocol import ProtocolError
+from repro.live.replica import drain_replica_range
+from repro.live.server import LiveCacheServer
+
+RING = 1 << 16
+
+
+def boot_fleet(n=3, capacity=1 << 20, **kw):
+    return [LiveCacheServer(capacity_bytes=capacity, **kw).start()
+            for _ in range(n)]
+
+
+@pytest.fixture
+def fleet():
+    servers = boot_fleet()
+    cluster = LiveClusterClient([s.address for s in servers],
+                                ring_range=RING, replication=True)
+    yield cluster, servers
+    cluster.close()
+    for s in servers:
+        s.stop()
+
+
+def spread_keys(n=24):
+    """Keys strided across the whole ring so every server owns some."""
+    return [j * (RING // n) for j in range(n)]
+
+
+# ================================================ replica namespace unit
+
+
+class TestReplicaNamespace:
+    def test_replica_writes_invisible_to_primary(self):
+        srv = LiveCacheServer(capacity_bytes=1 << 20).start()
+        try:
+            with LiveCacheClient(srv.address) as c:
+                c.put(1, b"primary")
+                c.put(2, b"mirror", replica=True)
+                assert c.get(2) is None                 # primary namespace
+                assert c.get(2, replica=True) == b"mirror"
+                assert c.get(1, replica=True) is None   # and vice versa
+        finally:
+            srv.stop()
+
+    def test_replica_namespace_accounted_separately(self):
+        srv = LiveCacheServer(capacity_bytes=1 << 20,
+                              replica_headroom=0.5).start()
+        try:
+            with LiveCacheClient(srv.address) as c:
+                c.put(1, b"x" * 100)
+                c.put(2, b"y" * 40, replica=True)
+                stats = c.stats()
+                assert stats["used_bytes"] == 100
+                assert stats["replica"]["used_bytes"] == 40
+                assert stats["replica"]["capacity_bytes"] == (1 << 19)
+        finally:
+            srv.stop()
+
+    def test_two_phase_ledgers_are_independent(self):
+        srv = LiveCacheServer(capacity_bytes=1 << 20).start()
+        try:
+            with LiveCacheClient(srv.address) as c:
+                c.put(5, b"p")
+                c.put(5, b"r", replica=True)
+                token, records = c.extract_prepare(0, RING, replica=True)
+                assert records == [(5, b"r")]
+                c.extract_commit(token, replica=True)
+                # the replica extraction never touched the primary copy
+                assert c.get(5) == b"p"
+                assert c.get(5, replica=True) is None
+        finally:
+            srv.stop()
+
+
+# ============================================== sim/live placement parity
+
+
+class _SimNode:
+    def __init__(self, node_id):
+        self.node_id = node_id
+
+
+class _StubCache:
+    """The slice of ElasticCooperativeCache that placement reads."""
+
+    def __init__(self, ring, nodes):
+        self.ring = ring
+        self.nodes = nodes
+
+
+class TestBuddyParity:
+    def test_sim_buddy_matches_live_buddy_on_same_ring(self, fleet):
+        cluster, servers = fleet
+        addresses = [s.address for s in servers]
+        # A sim ring with nodes at the *same* positions the live
+        # cluster placed its initial buckets.
+        sim_ring = ConsistentHashRing(ring_range=RING)
+        sim_nodes = [_SimNode(f"n{i}") for i in range(len(addresses))]
+        by_addr = dict(zip(addresses, sim_nodes))
+        for pos in cluster.ring.buckets:
+            sim_ring.add_bucket(pos, by_addr[cluster.ring.node_map[pos]])
+        sim = ReplicationManager(_StubCache(sim_ring, sim_nodes))
+        for key in spread_keys(48):
+            live_buddy = cluster.replica.buddy_address(key)
+            sim_buddy = sim.buddy_for_hkey(sim_ring.hash_key(key))
+            assert sim_buddy is by_addr[live_buddy], (
+                f"key {key}: sim places replica on {sim_buddy.node_id}, "
+                f"live on {live_buddy}")
+
+    def test_buddy_is_never_the_owner(self, fleet):
+        cluster, _ = fleet
+        for key in spread_keys(48):
+            assert cluster.replica.buddy_address(key) != \
+                cluster.address_for(key)
+
+    def test_single_owner_ring_has_no_buddy(self):
+        ring = ConsistentHashRing(ring_range=RING)
+        node = _SimNode("only")
+        ring.add_bucket(100, node)
+        ring.add_bucket(9000, node)
+        sim = ReplicationManager(_StubCache(ring, [node]))
+        assert sim.buddy_for_hkey(50) is None
+        assert sim.buddy_of(node) is None
+
+
+# ======================================== failover: covered vs written off
+
+
+class TestFailoverCoverage:
+    def test_unreplicated_failover_writes_off_range(self):
+        """Regression: with replication off, fail_server behaves exactly
+        as the pre-replication design — the dead range is written off
+        and its keys read as misses."""
+        servers = boot_fleet()
+        cluster = LiveClusterClient([s.address for s in servers],
+                                    ring_range=RING, replication=False)
+        try:
+            keys = spread_keys()
+            for k in keys:
+                cluster.put(k, b"v%d" % k)
+            victim = cluster.address_for(keys[0])
+            vkeys = [k for k in keys if cluster.address_for(k) == victim]
+            servers[[s.address for s in servers].index(victim)].stop()
+            cluster.fail_server(victim, forward=False)
+            assert all(cluster.get(k) is None for k in vkeys)
+        finally:
+            cluster.close()
+            for s in servers:
+                s.stop()
+
+    def test_replicated_failover_serves_from_buddy(self, fleet):
+        cluster, servers = fleet
+        keys = spread_keys()
+        for k in keys:
+            cluster.put(k, b"v%d" % k)
+        victim = cluster.address_for(keys[0])
+        vkeys = [k for k in keys if cluster.address_for(k) == victim]
+        assert vkeys
+        servers[[s.address for s in servers].index(victim)].stop()
+        cluster.fail_server(victim, forward=False)
+        for k in vkeys:
+            assert cluster.get(k) == b"v%d" % k
+        assert cluster.replica.replica_hits >= len(vkeys)
+
+    def test_dead_buddy_degrades_to_write_off(self, fleet):
+        """The no-replica fallback: when the range's buddy is *also*
+        gone, claim_failed reports it uncovered and reads degrade to
+        misses — never an error, never a stale value."""
+        cluster, servers = fleet
+        keys = spread_keys()
+        for k in keys:
+            cluster.put(k, b"v%d" % k)
+        victim = cluster.address_for(keys[0])
+        buddy = cluster.replica.buddy_address(keys[0])
+        addr_of = [s.address for s in servers]
+        # Kill the buddy first (its own ranges fail over elsewhere)...
+        servers[addr_of.index(buddy)].stop()
+        cluster.fail_server(buddy, forward=False)
+        # ...then the primary: nothing distinct holds keys[0]'s replica
+        # anymore, so its segment comes back uncovered.
+        servers[addr_of.index(victim)].stop()
+        cluster.fail_server(victim, forward=False)
+        assert cluster.get(keys[0]) is None
+
+
+# ================================= property: acked put survives the kill
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=RING - 1),
+              st.binary(min_size=1, max_size=64)),
+    min_size=1, max_size=12, unique_by=lambda kv: kv[0]))
+def test_replica_acked_put_readable_after_primary_kill(items):
+    """For any write set: once put() returns, killing any single
+    primary leaves every acked value readable (from the buddy)."""
+    servers = boot_fleet()
+    cluster = LiveClusterClient([s.address for s in servers],
+                                ring_range=RING, replication=True)
+    try:
+        for key, value in items:
+            cluster.put(key, value)
+        victim = cluster.address_for(items[0][0])
+        servers[[s.address for s in servers].index(victim)].stop()
+        cluster.fail_server(victim, forward=False)
+        for key, value in items:
+            assert cluster.get(key) == value
+    finally:
+        cluster.close()
+        for s in servers:
+            s.stop()
+
+
+# ==================================== drain_replica_range crash phases
+
+
+class _FakeReplicaSource:
+    """In-memory replica namespace speaking the two-phase wire surface."""
+
+    def __init__(self, records):
+        self.records = dict(records)
+        self.ledger = TransferLedger(lease_s=30.0)
+        self.aborts = 0
+        self.commits = 0
+
+    def extract_prepare(self, lo, hi, replica=False):
+        assert replica, "drain must target the replica namespace"
+        recs = [(k, v) for k, v in sorted(self.records.items())
+                if lo <= k <= hi]
+        return self.ledger.prepare(lo, hi, recs), recs
+
+    def extract_commit(self, token, replica=False):
+        assert replica
+        self.commits += 1
+        xfer = self.ledger.commit(token)
+        if xfer is None:
+            return 0
+        for key in xfer.keys:
+            self.records.pop(key, None)
+        return len(xfer.keys)
+
+    def extract_abort(self, token, replica=False):
+        assert replica
+        self.aborts += 1
+        return self.ledger.abort(token)
+
+
+class _FakeHome:
+    """Destination primary store honouring ``if_absent``."""
+
+    def __init__(self, resident=(), fail_at=None):
+        self.store = dict(resident)
+        self.fail_at = fail_at
+
+    def multi_put(self, records, if_absent=False):
+        from repro.live.client import MultiPutResult
+        result = MultiPutResult()
+        for key, value in records:
+            if key == self.fail_at:
+                result.error = ProtocolError("home died mid-copy")
+                return result
+            if if_absent and key in self.store:
+                result.skipped.append(key)
+                continue
+            self.store[key] = value
+            result.stored.append(key)
+        return result
+
+
+class TestDrainCrashPhases:
+    HINTS = {1: b"a", 2: b"b", 7: b"g"}
+
+    def test_clean_drain_moves_hints_home(self):
+        src = _FakeReplicaSource(self.HINTS)
+        home = _FakeHome()
+        stored = drain_replica_range(src, home, 0, 10)
+        assert dict(stored) == self.HINTS
+        assert home.store == self.HINTS
+        assert src.records == {}          # committed: hints deleted
+
+    def test_interim_migration_wins_over_hint(self):
+        # Key 2 already came home (newer) via the interim migration;
+        # the drain must not clobber it, and must not re-account it.
+        src = _FakeReplicaSource(self.HINTS)
+        home = _FakeHome(resident={2: b"newer"})
+        stored = drain_replica_range(src, home, 0, 10)
+        assert dict(stored) == {1: b"a", 7: b"g"}
+        assert home.store[2] == b"newer"
+
+    def test_crash_before_commit_retains_hints(self):
+        # Phase: copy fails mid-batch.  The prepare is aborted (records
+        # retained at the buddy) and the error propagates — a retried
+        # drain starts clean and loses nothing.
+        src = _FakeReplicaSource(self.HINTS)
+        home = _FakeHome(fail_at=2)
+        with pytest.raises(ProtocolError):
+            drain_replica_range(src, home, 0, 10)
+        assert src.records == self.HINTS
+        assert src.aborts == 1 and src.commits == 0
+
+    def test_crash_after_prepare_lease_expires(self):
+        # Phase: nothing after prepare ever runs (caller death).  The
+        # lease releases the snapshot (abort stands in for expiry —
+        # same ledger path) and the hints are still there for the
+        # re-drain.
+        src = _FakeReplicaSource(self.HINTS)
+        token, _ = src.extract_prepare(0, 10, replica=True)
+        src.ledger.abort(token)
+        assert src.records == self.HINTS
+        stored = drain_replica_range(src, _FakeHome(), 0, 10)
+        assert dict(stored) == self.HINTS
+
+    def test_replay_after_partial_copy_is_idempotent(self):
+        # Phase: copy applied, commit lost.  The re-drain re-copies
+        # (if_absent skips the applied prefix) and finally commits.
+        src = _FakeReplicaSource(self.HINTS)
+        home = _FakeHome()
+        token, records = src.extract_prepare(0, 10, replica=True)
+        home.multi_put(records, if_absent=True)     # copy landed...
+        src.ledger.abort(token)                     # ...commit lost
+        stored = drain_replica_range(src, home, 0, 10)
+        assert stored == []                 # everything already home
+        assert home.store == self.HINTS
+        assert src.records == {}
+
+
+# ============================================ handoff + rebuild end-to-end
+
+
+class TestHandoffAndRebuild:
+    def _kill(self, cluster, servers, victim):
+        slot = [s.address for s in servers].index(victim)
+        servers[slot].stop()
+        cluster.fail_server(victim, forward=False)
+        return slot
+
+    def test_outage_writes_hint_and_drain_home(self, fleet):
+        cluster, servers = fleet
+        keys = spread_keys()
+        for k in keys:
+            cluster.put(k, b"old%d" % k)
+        victim = cluster.address_for(keys[0])
+        vkeys = [k for k in keys if cluster.address_for(k) == victim]
+        slot = self._kill(cluster, servers, victim)
+        for k in vkeys:                      # outage writes
+            cluster.put(k, b"new%d" % k)
+        assert cluster.replica.handoff_depth == len(vkeys)
+        host, port = victim
+        servers[slot] = LiveCacheServer(host=host, port=port,
+                                        capacity_bytes=1 << 20).start()
+        cluster.restore_server(victim)
+        assert cluster.replica.handoff_depth == 0
+        for k in keys:
+            expect = b"new%d" % k if k in vkeys else b"old%d" % k
+            assert cluster.get(k) == expect
+        # the outage values now live on the restored server itself
+        direct = LiveCacheClient(victim)
+        try:
+            assert all(direct.get(k) == b"new%d" % k for k in vkeys)
+        finally:
+            direct.close()
+
+    def test_add_server_rebuilds_replicas_for_new_ranges(self, fleet):
+        cluster, servers = fleet
+        keys = spread_keys()
+        for k in keys:
+            cluster.put(k, b"v%d" % k)
+        extra = LiveCacheServer(capacity_bytes=1 << 20).start()
+        try:
+            bucket = RING // 6
+            cluster.add_server(extra.address, bucket)
+            # Every key's replica must sit where the *new* ring says,
+            # including ranges whose buddy the split changed.
+            for k in keys:
+                buddy = cluster.replica.buddy_address(k)
+                with LiveCacheClient(buddy) as bc:
+                    assert bc.get(k, replica=True) == b"v%d" % k, (
+                        f"key {k} not replicated on post-split buddy")
+        finally:
+            extra.stop()
+
+    def test_restored_server_survives_second_kill(self, fleet):
+        """After a full kill/restore cycle the rebuild has re-placed the
+        restored range's replicas — so a *second* kill of the same node
+        is just as survivable as the first."""
+        cluster, servers = fleet
+        keys = spread_keys()
+        for k in keys:
+            cluster.put(k, b"v%d" % k)
+        victim = cluster.address_for(keys[0])
+        vkeys = [k for k in keys if cluster.address_for(k) == victim]
+        slot = self._kill(cluster, servers, victim)
+        host, port = victim
+        servers[slot] = LiveCacheServer(host=host, port=port,
+                                        capacity_bytes=1 << 20).start()
+        cluster.restore_server(victim)
+        slot = self._kill(cluster, servers, victim)   # again
+        for k in vkeys:
+            assert cluster.get(k) == b"v%d" % k
